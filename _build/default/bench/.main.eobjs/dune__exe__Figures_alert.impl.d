@@ -1,0 +1,1 @@
+bench/figures_alert.ml: Array Context Hashtbl List Printf Registry Report Tivaware_core Tivaware_delay_space Tivaware_tiv Tivaware_util Tivaware_vivaldi

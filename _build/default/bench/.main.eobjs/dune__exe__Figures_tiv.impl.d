@@ -1,0 +1,1 @@
+bench/figures_tiv.ml: Array Context Float Format Hashtbl List Printf Registry Report Tivaware_delay_space Tivaware_tiv Tivaware_topology Tivaware_util

@@ -1,0 +1,1 @@
+bench/figures_vivaldi.ml: Array Context List Printf Registry Report Tivaware_delay_space Tivaware_util Tivaware_vivaldi

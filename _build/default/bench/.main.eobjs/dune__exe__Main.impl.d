@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Context Extensions Figures_alert Figures_meridian Figures_strawman Figures_tiv Figures_tivaware Figures_vivaldi List Perf Printf Registry Sys

@@ -1,0 +1,1 @@
+bench/registry.ml: Context List String

@@ -1,0 +1,214 @@
+(* Section 2 figures: TIV characteristics of the delay spaces. *)
+
+module Rng = Tivaware_util.Rng
+module Stats = Tivaware_util.Stats
+module Binned = Tivaware_util.Binned
+module Table = Tivaware_util.Table
+module Matrix = Tivaware_delay_space.Matrix
+module Clustering = Tivaware_delay_space.Clustering
+module Shortest_path = Tivaware_delay_space.Shortest_path
+module Generator = Tivaware_topology.Generator
+module Datasets = Tivaware_topology.Datasets
+module Severity = Tivaware_tiv.Severity
+module Triangle = Tivaware_tiv.Triangle
+module Proximity = Tivaware_tiv.Proximity
+module Cluster_analysis = Tivaware_tiv.Cluster_analysis
+
+(* The four data sets (and their severity matrices) are shared by
+   Figures 2, 4-7 and 9; compute them once per bench process. *)
+let ensemble_cache :
+    (int, (Datasets.preset * Generator.t * Matrix.t) list) Hashtbl.t =
+  Hashtbl.create 4
+
+let ensemble (ctx : Context.t) =
+  match Hashtbl.find_opt ensemble_cache ctx.Context.seed with
+  | Some e -> e
+  | None ->
+    let e =
+      List.map
+        (fun preset ->
+          let data =
+            if preset = Datasets.Ds2 then Context.ds2 ctx
+            else Datasets.generate ~seed:ctx.Context.seed preset
+          in
+          let severity =
+            if preset = Datasets.Ds2 then Context.severity ctx
+            else Severity.all data.Generator.matrix
+          in
+          (preset, data, severity))
+        Datasets.all
+    in
+    Hashtbl.replace ensemble_cache ctx.Context.seed e;
+    e
+
+let fig1 ctx =
+  Report.section "fig1" "The severity metric illustrated on one real edge";
+  Report.expectation
+    "severity = area above 1 under the edge's triangulation-ratio CDF; \
+     the CDF's crossing of ratio 1 is the fraction of violating \
+     triangles";
+  let m = Context.matrix ctx in
+  let severity = Context.severity ctx in
+  (* Pick the single worst edge as the specimen. *)
+  match Severity.worst_edges severity ~fraction:1.0 with
+  | [||] -> print_endline "(no edges)"
+  | worst ->
+    let i, j = worst.(0) in
+    let ratios = Severity.triangulation_ratios m i j in
+    let violating = Array.of_list (List.filter (fun r -> r > 1.) (Array.to_list ratios)) in
+    Report.measured
+      "edge %d-%d: delay %.1f ms, severity %.3f; %d of %d intermediates \
+       violate (%.0f%%), worst ratio %.2f"
+      i j (Matrix.get m i j)
+      (Matrix.get severity i j)
+      (Array.length violating) (Array.length ratios)
+      (100. *. float_of_int (Array.length violating) /. float_of_int (Array.length ratios))
+      (Array.fold_left Float.max 1. ratios);
+    (* The severity definition, recomputed from the raw ratios. *)
+    let from_ratios =
+      Array.fold_left (fun acc r -> if r > 1. then acc +. r else acc) 0. violating
+      /. float_of_int (Matrix.size m)
+    in
+    Report.measured "severity recomputed from the ratio distribution: %.3f"
+      from_ratios;
+    print_endline "triangulation-ratio CDF of the specimen edge:";
+    Report.value_cdf_table ~label:"ratio<="
+      ~thresholds:[ 0.5; 0.8; 1.0; 1.5; 2.0; 3.0; 5.0; 8.0 ]
+      [ (Printf.sprintf "edge %d-%d" i j, ratios) ]
+
+let fig2 ctx =
+  Report.section "fig2" "Cumulative distribution of TIV severity (4 data sets)";
+  Report.expectation
+    "all curves rise steeply (most edges mild) with long tails; Meridian \
+     data worst, p2psim mildest";
+  let series =
+    List.map
+      (fun (preset, data, severity) ->
+        ( Datasets.name ~size:(Matrix.size data.Generator.matrix) preset,
+          Matrix.delays severity ))
+      (ensemble ctx)
+  in
+  Report.value_cdf_table ~label:"severity<="
+    ~thresholds:[ 0.; 0.01; 0.02; 0.05; 0.1; 0.2; 0.4; 0.6; 0.8; 1.0 ]
+    series;
+  List.iter (fun (name, sevs) -> Report.summary_line name sevs) series
+
+let fig3 ctx =
+  Report.section "fig3" "TIV severity by cluster (matrix blocks)";
+  Report.expectation
+    "diagonal (within-cluster) blocks darker/milder than off-diagonal \
+     (cross-cluster) blocks; DS2 text: avg violations 80 within vs 206 cross";
+  let analysis =
+    Cluster_analysis.analyze_with ~severity:(Context.severity ctx)
+      ~counts:(Context.severity_counts ctx)
+      (Context.clustering ctx)
+  in
+  Format.printf "%a" Cluster_analysis.pp analysis;
+  Report.measured "avg violations per edge: within=%.1f cross=%.1f"
+    analysis.Cluster_analysis.within_mean_violations
+    analysis.Cluster_analysis.cross_mean_violations;
+  let shade =
+    Cluster_analysis.shade_matrix ~severity:(Context.severity ctx)
+      (Context.clustering ctx) ~cells:8
+  in
+  print_endline "mean severity per 8x8 cell of the cluster-reordered matrix:";
+  Array.iter
+    (fun row ->
+      Array.iter (fun v -> Printf.printf " %6.3f" v) row;
+      print_newline ())
+    shade
+
+let severity_vs_delay name matrix severity =
+  let obs = ref [] in
+  Matrix.iter_edges matrix (fun i j d ->
+      if Matrix.known severity i j then
+        obs := (d, Matrix.get severity i j) :: !obs);
+  Printf.printf "-- %s --\n" name;
+  let binned = Binned.make ~width:50. ~x_max:1000. (List.to_seq !obs) in
+  Report.binned_table ~x_label:"delay_ms" ~y_label:"sev" binned
+
+let fig4_7 ctx =
+  Report.section "fig4-7" "TIV severity vs edge delay (per data set)";
+  Report.expectation
+    "longer edges cause more severe TIVs but the relation is irregular \
+     (peaks and dips; same-severity edges at very different delays)";
+  List.iter
+    (fun (preset, data, severity) ->
+      severity_vs_delay
+        (Datasets.name ~size:(Matrix.size data.Generator.matrix) preset)
+        data.Generator.matrix severity)
+    (ensemble ctx)
+
+let fig8 ctx =
+  Report.section "fig8"
+    "Fraction within-cluster and shortest-path length vs edge delay (DS2)";
+  Report.expectation
+    "edges > ~200ms are mostly cross-cluster; shortest alternative paths \
+     grow with delay but plateau where severe TIVs live";
+  let m = Context.matrix ctx in
+  let clustering = Context.clustering ctx in
+  let within = ref [] and sp_lengths = ref [] in
+  let inflation = Shortest_path.inflation m in
+  Array.iter
+    (fun (i, j, measured, shortest) ->
+      let w = if Clustering.same_cluster clustering i j then 1.0 else 0.0 in
+      within := (measured, w) :: !within;
+      sp_lengths := (measured, shortest) :: !sp_lengths)
+    inflation;
+  print_endline "fraction of edges within the same cluster, by edge delay:";
+  let wb = Binned.make ~width:100. ~x_max:1000. (List.to_seq !within) in
+  let table = Table.create ~header:[ "delay_ms"; "count"; "frac_within" ] in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f" r.Binned.x_mid;
+          string_of_int r.Binned.count;
+          Printf.sprintf "%.3f" r.Binned.mean;
+        ])
+    wb;
+  Table.print table;
+  print_endline "shortest alternative path length (ms), by edge delay:";
+  let sb = Binned.make ~width:100. ~x_max:1000. (List.to_seq !sp_lengths) in
+  Report.binned_table ~x_label:"delay_ms" ~y_label:"sp_ms" sb
+
+let fig9 ctx =
+  Report.section "fig9"
+    "Proximity property: severity difference of nearest-pair vs random-pair edges";
+  Report.expectation
+    "nearest-pair curves barely above random-pair curves: proximity does \
+     not predict TIV severity";
+  let rng = Context.rng ctx 9 in
+  List.iter
+    (fun (preset, data, severity) ->
+      let result =
+        Proximity.analyze rng data.Generator.matrix ~severity ~samples:10_000
+      in
+      Printf.printf "-- %s (gap %.4f) --\n"
+        (Datasets.name ~size:(Matrix.size data.Generator.matrix) preset)
+        (Proximity.similarity_gap result);
+      Report.value_cdf_table ~label:"sev_diff<="
+        ~thresholds:[ 0.; 0.01; 0.05; 0.1; 0.25; 0.5; 1.0; 1.5 ]
+        [
+          ("nearest-pair-edges", result.Proximity.nearest_pair_diffs);
+          ("random-pair-edges", result.Proximity.random_pair_diffs);
+        ])
+    (ensemble ctx)
+
+let text_stats ctx =
+  Report.section "text-12pct" "Fraction of violating triangles (DS2 text stat)";
+  Report.expectation "around 12%% of all DS2 triangles violate the inequality";
+  let census = Triangle.census (Context.matrix ctx) in
+  Report.measured "%d / %d triangles violate (%.1f%%), worst ratio %.2f"
+    census.Triangle.violating census.Triangle.triangles
+    (100. *. census.Triangle.fraction)
+    census.Triangle.worst_ratio
+
+let register () =
+  Registry.register "fig1" "Severity metric on a specimen edge" fig1;
+  Registry.register "fig2" "TIV severity CDFs across data sets" fig2;
+  Registry.register "fig3" "TIV severity by cluster" fig3;
+  Registry.register "fig4-7" "TIV severity vs delay, all data sets" fig4_7;
+  Registry.register "fig8" "Within-cluster fraction & shortest paths vs delay" fig8;
+  Registry.register "fig9" "Proximity (non-)predictability of severity" fig9;
+  Registry.register "text-12pct" "Violating-triangle fraction" text_stats

@@ -1,0 +1,74 @@
+(* Section 3.2.1 figures: how TIVs destabilize Vivaldi. *)
+
+module Rng = Tivaware_util.Rng
+module Binned = Tivaware_util.Binned
+module Matrix = Tivaware_delay_space.Matrix
+module System = Tivaware_vivaldi.System
+module Trace = Tivaware_vivaldi.Trace
+
+(* The paper's 3-node example: AB = 5ms, BC = 5ms, CA = 100ms. *)
+let three_node_matrix () =
+  let m = Matrix.create 3 in
+  Matrix.set m 0 1 5.;
+  Matrix.set m 1 2 5.;
+  Matrix.set m 2 0 100.;
+  m
+
+let fig10 ctx =
+  Report.section "fig10" "Vivaldi error trace on a 3-node TIV network";
+  Report.expectation
+    "no embedding satisfies AB=5, BC=5, CA=100; errors oscillate forever \
+     instead of converging (paper amplitude: tens of ms)";
+  let m = three_node_matrix () in
+  let config =
+    { System.default_config with System.neighbors_per_node = 2 }
+  in
+  let system = System.create ~config (Context.rng ctx 10) m in
+  let traces =
+    Trace.error_traces system ~edges:[ (0, 1); (1, 2); (2, 0) ] ~rounds:100
+  in
+  Printf.printf "%6s %12s %12s %12s\n" "round" "err(A-B)" "err(B-C)" "err(C-A)";
+  let rounds = 100 in
+  let get k r = (List.nth traces k).Trace.errors.(r) in
+  let rec print_rows r =
+    if r < rounds then begin
+      Printf.printf "%6d %12.2f %12.2f %12.2f\n" (r + 1) (get 0 r) (get 1 r)
+        (get 2 r);
+      print_rows (r + 10)
+    end
+  in
+  print_rows 0;
+  List.iteri
+    (fun k t ->
+      let errs = t.Trace.errors in
+      let late = Array.sub errs (rounds / 2) (rounds / 2) in
+      let lo, hi = Tivaware_util.Stats.min_max late in
+      Printf.printf "edge %d steady-state error range: [%.1f, %.1f] ms\n" k lo hi)
+    traces
+
+let fig11 ctx =
+  Report.section "fig11" "Oscillation range of predicted distances (DS2)";
+  Report.expectation
+    "large oscillation even for short edges (a 10ms edge can swing by \
+     ~175ms); in-text: median abs error ~20ms, p90 ~140ms, median \
+     movement ~1.6 ms/step";
+  (* Fresh system so the context's converged embedding is untouched. *)
+  let system =
+    System.create (Context.rng ctx 11) (Context.matrix ctx)
+  in
+  System.run system ~rounds:ctx.Context.vivaldi_rounds;
+  let stats = Trace.steady_state_stats system ~rounds:30 in
+  Report.measured
+    "abs error p50=%.1fms p90=%.1fms; movement p50=%.2f p90=%.2f ms/step"
+    stats.Trace.median_abs_error stats.Trace.p90_abs_error
+    stats.Trace.median_movement stats.Trace.p90_movement;
+  let osc = Trace.oscillation system ~rounds:500 ~sample_every:5 in
+  let obs =
+    Array.to_seq (Array.mapi (fun k d -> (d, osc.Trace.ranges.(k))) osc.Trace.delays)
+  in
+  let binned = Binned.make ~width:50. ~x_max:1000. obs in
+  Report.binned_table ~x_label:"delay_ms" ~y_label:"osc_range_ms" binned
+
+let register () =
+  Registry.register "fig10" "3-node Vivaldi oscillation" fig10;
+  Registry.register "fig11" "Vivaldi oscillation ranges on DS2" fig11

@@ -1,0 +1,63 @@
+(* Benchmark harness entry point.
+
+   Default: regenerate every figure of the paper (plus the ablations) on
+   the shared synthetic DS2-like world and print paper-style series.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- --only fig14 --only fig24
+     dune exec bench/main.exe -- --size 1200 --seed 7
+     dune exec bench/main.exe -- --perf       # bechamel microbenchmarks *)
+
+let () =
+  let only = ref [] in
+  let size = ref 560 in
+  let seed = ref 2007 in
+  let list_only = ref false in
+  let perf = ref false in
+  let spec =
+    [
+      ("--only", Arg.String (fun s -> only := s :: !only), "ID run only this experiment (repeatable)");
+      ("--size", Arg.Set_int size, "N DS2-like node count (default 560)");
+      ("--seed", Arg.Set_int seed, "N master random seed (default 2007)");
+      ("--list", Arg.Set list_only, " list experiment ids and exit");
+      ("--perf", Arg.Set perf, " run bechamel microbenchmarks instead of figures");
+    ]
+  in
+  Arg.parse spec
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "tivaware benchmark harness";
+  Figures_tiv.register ();
+  Figures_vivaldi.register ();
+  Figures_meridian.register ();
+  Figures_strawman.register ();
+  Figures_alert.register ();
+  Figures_tivaware.register ();
+  Ablations.register ();
+  Extensions.register ();
+  if !perf then Perf.run ()
+  else if !list_only then
+    List.iter
+      (fun e -> Printf.printf "%-16s %s\n" e.Registry.id e.Registry.title)
+      (Registry.all ())
+  else begin
+    let ctx = Context.create ~seed:!seed ~size:!size () in
+    let entries =
+      match !only with [] -> Registry.all () | ids -> Registry.find ids
+    in
+    if entries = [] then begin
+      prerr_endline "no matching experiments; try --list";
+      exit 1
+    end;
+    Printf.printf
+      "tivaware bench: %d experiments, DS2-like size=%d seed=%d\n"
+      (List.length entries) !size !seed;
+    let t0 = Sys.time () in
+    List.iter
+      (fun e ->
+        let start = Sys.time () in
+        e.Registry.run ctx;
+        Printf.printf "[%s done in %.1fs]\n" e.Registry.id (Sys.time () -. start))
+      entries;
+    Printf.printf "\nall experiments done in %.1fs (cpu)\n" (Sys.time () -. t0)
+  end

@@ -1,0 +1,67 @@
+(* Bechamel microbenchmarks of the hot kernels.  Run with --perf; they
+   are excluded from the default figure run to keep it fast. *)
+
+open Bechamel
+open Toolkit
+module Rng = Tivaware_util.Rng
+module Matrix = Tivaware_delay_space.Matrix
+module Severity = Tivaware_tiv.Severity
+module Shortest_path = Tivaware_delay_space.Shortest_path
+module System = Tivaware_vivaldi.System
+module Ring = Tivaware_meridian.Ring
+module Overlay = Tivaware_meridian.Overlay
+module Query = Tivaware_meridian.Query
+module Generator = Tivaware_topology.Generator
+module Datasets = Tivaware_topology.Datasets
+
+let tests () =
+  let data = Datasets.generate ~size:200 ~seed:99 Datasets.Ds2 in
+  let m = data.Generator.matrix in
+  let system = System.create (Rng.create 1) m in
+  System.run system ~rounds:50;
+  let rng = Rng.create 2 in
+  let meridian_nodes = Rng.sample_indices rng ~n:(Matrix.size m) ~k:100 in
+  let overlay =
+    Overlay.build (Rng.create 3) m Ring.default_config ~meridian_nodes
+  in
+  let query_rng = Rng.create 4 in
+  [
+    Test.make ~name:"rng/int" (Staged.stage (fun () -> Rng.int query_rng 1000));
+    Test.make ~name:"vivaldi/round"
+      (Staged.stage (fun () -> System.round system));
+    Test.make ~name:"severity/edge"
+      (Staged.stage (fun () -> ignore (Severity.edge m 0 1)));
+    Test.make ~name:"dijkstra/single-source"
+      (Staged.stage (fun () -> ignore (Shortest_path.single_source m 0)));
+    Test.make ~name:"meridian/query"
+      (Staged.stage (fun () ->
+           let start = meridian_nodes.(Rng.int query_rng 100) in
+           let target = Rng.int query_rng (Matrix.size m) in
+           if Overlay.is_meridian overlay start
+              && (not (Overlay.is_meridian overlay target))
+              && not (Matrix.is_missing m start target)
+           then ignore (Query.closest overlay m ~start ~target)));
+    Test.make ~name:"generator/200-nodes"
+      (Staged.stage (fun () ->
+           ignore (Datasets.generate ~size:200 ~seed:5 Datasets.Ds2)));
+  ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  (* Run each test individually and print the OLS-estimated monotonic
+     time per run. *)
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        ols)
+    (List.map (fun t -> Test.make_grouped ~name:"kernel" [ t ]) (tests ()))

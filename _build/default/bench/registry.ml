@@ -1,0 +1,18 @@
+(* Figure/experiment registry: bench/main.exe runs every registered
+   entry, or a subset selected with --only. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : Context.t -> unit;
+}
+
+let entries : entry list ref = ref []
+
+let register id title run = entries := { id; title; run } :: !entries
+
+let all () = List.rev !entries
+
+let find ids =
+  let wanted = List.map String.lowercase_ascii ids in
+  List.filter (fun e -> List.mem (String.lowercase_ascii e.id) wanted) (all ())

@@ -1,0 +1,86 @@
+(* Shared output helpers so every figure prints in a uniform style. *)
+
+module Stats = Tivaware_util.Stats
+module Cdf = Tivaware_util.Cdf
+module Table = Tivaware_util.Table
+module Ascii_plot = Tivaware_util.Ascii_plot
+
+let section id title = Printf.printf "\n=== %s: %s ===\n" id title
+
+let expectation fmt = Printf.printf ("paper: " ^^ fmt ^^ "\n")
+let measured fmt = Printf.printf ("measured: " ^^ fmt ^^ "\n")
+let note fmt = Printf.printf ("note: " ^^ fmt ^^ "\n")
+
+(* Penalty CDFs are compared at fixed log-spaced thresholds (the paper
+   plots them on a log axis from 10^0 to 10^4 percent). *)
+let penalty_thresholds = [ 0.; 1.; 3.; 10.; 30.; 100.; 300.; 1000.; 3000.; 10000. ]
+
+let penalty_cdf_table series =
+  let header =
+    "penalty<=%"
+    :: List.map (fun t -> Printf.sprintf "%g" t) penalty_thresholds
+  in
+  let table = Table.create ~header in
+  List.iter
+    (fun (name, penalties) ->
+      if Array.length penalties = 0 then Table.add_row table [ name ]
+      else begin
+        let cdf = Cdf.of_samples penalties in
+        Table.add_row table
+          (name
+          :: List.map
+               (fun t -> Printf.sprintf "%.3f" (Cdf.eval cdf t))
+               penalty_thresholds)
+      end)
+    series;
+  Table.print table
+
+let value_cdf_table ~label ~thresholds series =
+  let header = label :: List.map (fun t -> Printf.sprintf "%g" t) thresholds in
+  let table = Table.create ~header in
+  List.iter
+    (fun (name, samples) ->
+      if Array.length samples = 0 then Table.add_row table [ name ]
+      else begin
+        let cdf = Cdf.of_samples samples in
+        Table.add_row table
+          (name
+          :: List.map (fun t -> Printf.sprintf "%.3f" (Cdf.eval cdf t)) thresholds)
+      end)
+    series;
+  Table.print table
+
+let summary_line name samples =
+  if Array.length samples = 0 then Printf.printf "%-28s (no samples)\n" name
+  else begin
+    let s = Stats.summarize samples in
+    Printf.printf "%-28s p10=%-8.3f p50=%-8.3f p90=%-8.3f mean=%-8.3f max=%.3f\n"
+      name s.Stats.p10 s.Stats.p50 s.Stats.p90 s.Stats.mean s.Stats.max
+  end
+
+let binned_table ~x_label ~y_label binned =
+  let table =
+    Table.create ~header:[ x_label; "count"; y_label ^ "_p10"; y_label ^ "_p50"; y_label ^ "_p90" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Printf.sprintf "%g" r.Tivaware_util.Binned.x_mid;
+          string_of_int r.Tivaware_util.Binned.count;
+          Printf.sprintf "%.4f" r.Tivaware_util.Binned.p10;
+          Printf.sprintf "%.4f" r.Tivaware_util.Binned.p50;
+          Printf.sprintf "%.4f" r.Tivaware_util.Binned.p90;
+        ])
+    binned;
+  Table.print table
+
+let cdf_plot series =
+  let plot_series =
+    List.filter_map
+      (fun (marker, samples) ->
+        if Array.length samples = 0 then None
+        else Some (marker, Cdf.points ~max_points:48 (Cdf.of_samples samples)))
+      series
+  in
+  print_string (Ascii_plot.plot ~x_label:"value" ~y_label:"cdf" plot_series)

@@ -1,0 +1,469 @@
+(* tivlab — command-line laboratory for TIV-aware neighbor selection.
+
+   Subcommands:
+     gen         generate a synthetic delay space and save it
+     survey      TIV analysis of a delay matrix (Section 2 workflow)
+     import      convert a full square delay matrix to the native format
+     repair      clean a measured delay matrix
+     synthesize  scale a measured matrix to any size (DS2-style)
+     vivaldi     Vivaldi embedding + neighbor-selection experiment
+     meridian    Meridian neighbor-selection experiment
+     alert       evaluate the TIV alert mechanism on a matrix
+     dht         Chord-like DHT lookups with PNS
+     multicast   build and score an overlay multicast tree *)
+
+open Cmdliner
+module Rng = Tivaware_util.Rng
+module Stats = Tivaware_util.Stats
+module Matrix = Tivaware_delay_space.Matrix
+module Io = Tivaware_delay_space.Io
+module Clustering = Tivaware_delay_space.Clustering
+module Properties = Tivaware_delay_space.Properties
+module Datasets = Tivaware_topology.Datasets
+module Generator = Tivaware_topology.Generator
+module Severity = Tivaware_tiv.Severity
+module Triangle = Tivaware_tiv.Triangle
+module Alert = Tivaware_tiv.Alert
+module Eval = Tivaware_tiv.Eval
+module System = Tivaware_vivaldi.System
+module Dynamic_neighbors = Tivaware_vivaldi.Dynamic_neighbors
+module Error = Tivaware_embedding.Error
+module Ring = Tivaware_meridian.Ring
+module Experiment = Tivaware_core.Experiment
+module Selectors = Tivaware_core.Selectors
+module Penalty = Tivaware_core.Penalty
+
+(* ---------------------------------------------------------------- *)
+(* Shared arguments                                                  *)
+
+let seed_arg =
+  Arg.(value & opt int 2007 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let size_arg =
+  Arg.(value & opt int 400 & info [ "size"; "n" ] ~docv:"N" ~doc:"Node count.")
+
+let matrix_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "matrix"; "m" ] ~docv:"FILE"
+        ~doc:"Delay matrix file (tivaware text format). When absent, a \
+              DS2-like space is generated from $(b,--size)/$(b,--seed).")
+
+let preset_arg =
+  let presets =
+    [ ("ds2", Datasets.Ds2); ("meridian", Datasets.Meridian);
+      ("p2psim", Datasets.P2psim); ("planetlab", Datasets.Planetlab) ]
+  in
+  Arg.(
+    value
+    & opt (enum presets) Datasets.Ds2
+    & info [ "preset" ] ~docv:"PRESET"
+        ~doc:"Data-set preset: $(b,ds2), $(b,meridian), $(b,p2psim) or \
+              $(b,planetlab).")
+
+let load_or_generate matrix_file size seed =
+  match matrix_file with
+  | Some path -> Io.load path
+  | None ->
+    (Datasets.generate ~size ~seed Datasets.Ds2).Generator.matrix
+
+(* ---------------------------------------------------------------- *)
+(* gen                                                               *)
+
+let gen_cmd =
+  let run preset size seed output =
+    let data = Datasets.generate ~size ~seed preset in
+    Io.save data.Generator.matrix output;
+    Printf.printf "wrote %s (%s, %d nodes, %d edges)\n" output
+      (Datasets.name ~size preset) size
+      (Matrix.edge_count data.Generator.matrix)
+  in
+  let output =
+    Arg.(
+      value & opt string "delay-matrix.dm"
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic Internet delay space.")
+    Term.(const run $ preset_arg $ size_arg $ seed_arg $ output)
+
+(* ---------------------------------------------------------------- *)
+(* survey                                                            *)
+
+let survey_cmd =
+  let run matrix_file size seed =
+    let m = load_or_generate matrix_file size seed in
+    Format.printf "%a@." Properties.pp (Properties.analyze m);
+    let census = Triangle.census m in
+    Printf.printf "triangles: %d/%d violate (%.1f%%), worst ratio %.2f\n"
+      census.Triangle.violating census.Triangle.triangles
+      (100. *. census.Triangle.fraction) census.Triangle.worst_ratio;
+    let severity = Severity.all m in
+    Format.printf "severity: %a@." Stats.pp_summary
+      (Stats.summarize (Matrix.delays severity));
+    Format.printf "clusters: %a@." Clustering.pp (Clustering.cluster m)
+  in
+  Cmd.v
+    (Cmd.info "survey" ~doc:"TIV analysis of a delay space.")
+    Term.(const run $ matrix_arg $ size_arg $ seed_arg)
+
+(* ---------------------------------------------------------------- *)
+(* vivaldi                                                           *)
+
+let vivaldi_cmd =
+  let run matrix_file size seed rounds dim dynamic candidates =
+    let m = load_or_generate matrix_file size seed in
+    let config = { System.default_config with System.dim } in
+    let rng = Rng.create seed in
+    let system = Selectors.embed_vivaldi ~config ~rounds rng m in
+    if dynamic > 0 then
+      Dynamic_neighbors.run system
+        { Dynamic_neighbors.rounds_per_iteration = rounds; iterations = dynamic };
+    let err =
+      Error.evaluate m ~predicted:(Selectors.vivaldi_predict system)
+    in
+    Format.printf "embedding error: %a@." Error.pp err;
+    let result =
+      Experiment.run_predictor rng m ~runs:5 ~candidate_count:candidates
+        ~predict:(Selectors.vivaldi_predict system) ()
+    in
+    Printf.printf "neighbor selection: %s (failures %d)\n"
+      (Penalty.summarize result.Experiment.penalties)
+      result.Experiment.failures
+  in
+  let rounds =
+    Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Embedding rounds.")
+  in
+  let dim =
+    Arg.(value & opt int 5 & info [ "dim" ] ~docv:"D" ~doc:"Embedding dimension.")
+  in
+  let dynamic =
+    Arg.(
+      value & opt int 0
+      & info [ "dynamic" ] ~docv:"ITERS"
+          ~doc:"Dynamic-neighbor iterations (0 = plain Vivaldi).")
+  in
+  let candidates =
+    Arg.(value & opt int 40 & info [ "candidates" ] ~docv:"N" ~doc:"Candidate pool size.")
+  in
+  Cmd.v
+    (Cmd.info "vivaldi" ~doc:"Vivaldi embedding and neighbor selection.")
+    Term.(const run $ matrix_arg $ size_arg $ seed_arg $ rounds $ dim $ dynamic $ candidates)
+
+(* ---------------------------------------------------------------- *)
+(* meridian                                                          *)
+
+let meridian_cmd =
+  let run matrix_file size seed count beta tiv_aware no_termination =
+    let m = load_or_generate matrix_file size seed in
+    let cfg = { Ring.default_config with Ring.beta } in
+    let rng = Rng.create seed in
+    let termination =
+      if no_termination then Some Tivaware_meridian.Query.Any_improvement else None
+    in
+    let result =
+      if tiv_aware then begin
+        let vivaldi = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
+        let predicted i j = System.predicted vivaldi i j in
+        Experiment.run_meridian rng m ~runs:5 ?termination ~meridian_count:count
+          ~build:(Selectors.meridian_build_tiv_aware m cfg ~predicted)
+          ~fallback:(Selectors.meridian_fallback_tiv_aware m ~predicted ())
+          ()
+      end
+      else
+        Experiment.run_meridian rng m ~runs:5 ?termination ~meridian_count:count
+          ~build:(Selectors.meridian_build m cfg) ()
+    in
+    Printf.printf "neighbor selection: %s\n"
+      (Penalty.summarize result.Experiment.base.Experiment.penalties);
+    Printf.printf "probes=%d queries=%d hops/query=%.2f restarts=%d failures=%d\n"
+      result.Experiment.probes result.Experiment.queries
+      result.Experiment.hops_mean result.Experiment.restarts
+      result.Experiment.base.Experiment.failures
+  in
+  let count =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Meridian node count.")
+  in
+  let beta =
+    Arg.(value & opt float 0.5 & info [ "beta" ] ~docv:"B" ~doc:"Acceptance threshold.")
+  in
+  let tiv_aware =
+    Arg.(value & flag & info [ "tiv-aware" ] ~doc:"Enable the TIV alert mechanism.")
+  in
+  let no_termination =
+    Arg.(value & flag & info [ "no-termination" ] ~doc:"Disable the termination rule.")
+  in
+  Cmd.v
+    (Cmd.info "meridian" ~doc:"Meridian neighbor-selection experiment.")
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ count $ beta $ tiv_aware
+      $ no_termination)
+
+(* ---------------------------------------------------------------- *)
+(* import                                                            *)
+
+let import_cmd =
+  let run input output symmetrize =
+    let m = Io.load_square ~symmetrize input in
+    Io.save m output;
+    Printf.printf "imported %s: %d nodes, %d edges -> %s\n" input
+      (Matrix.size m) (Matrix.edge_count m) output
+  in
+  let input =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"INPUT" ~doc:"Square-matrix text file (e.g. p2psim King data).")
+  in
+  let output =
+    Arg.(value & opt string "imported.dm" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let symmetrize =
+    let modes = [ ("min", `Min); ("max", `Max); ("mean", `Mean) ] in
+    Arg.(
+      value & opt (enum modes) `Mean
+      & info [ "symmetrize" ] ~docv:"MODE"
+          ~doc:"Asymmetry reconciliation: $(b,min), $(b,max) or $(b,mean).")
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Convert a full square delay matrix to the native format.")
+    Term.(const run $ input $ output $ symmetrize)
+
+(* ---------------------------------------------------------------- *)
+(* repair                                                            *)
+
+let repair_cmd =
+  let run input output min_degree clamp fill =
+    let module Repair = Tivaware_delay_space.Repair in
+    let m = Io.load input in
+    Printf.printf "loaded %d nodes, %d missing entries\n" (Matrix.size m)
+      (Repair.missing_count m);
+    let m, mapping = Repair.drop_low_degree m ~min_degree in
+    Printf.printf "after degree filter (>= %d): %d nodes kept\n" min_degree
+      (Array.length mapping);
+    let m =
+      match clamp with
+      | None -> m
+      | Some p ->
+        Printf.printf "clamping delays at the p%.1f percentile\n" p;
+        Repair.clamp_outliers m ~percentile:p
+    in
+    let m =
+      if fill then begin
+        let filled = Repair.fill_missing_shortest_path m in
+        Printf.printf "filled %d entries via shortest paths\n"
+          (Repair.missing_count m - Repair.missing_count filled);
+        filled
+      end
+      else m
+    in
+    Io.save m output;
+    Printf.printf "wrote %s (%d nodes, %d missing)\n" output (Matrix.size m)
+      (Repair.missing_count m)
+  in
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"Input matrix.")
+  in
+  let output =
+    Arg.(value & opt string "repaired.dm" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let min_degree =
+    Arg.(value & opt int 1 & info [ "min-degree" ] ~docv:"N" ~doc:"Drop nodes with fewer measured edges.")
+  in
+  let clamp =
+    Arg.(value & opt (some float) None & info [ "clamp" ] ~docv:"P" ~doc:"Cap delays at this percentile.")
+  in
+  let fill =
+    Arg.(value & flag & info [ "fill" ] ~doc:"Fill missing entries with shortest-path estimates.")
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc:"Clean a measured delay matrix.")
+    Term.(const run $ input $ output $ min_degree $ clamp $ fill)
+
+(* ---------------------------------------------------------------- *)
+(* alert                                                             *)
+
+let alert_cmd =
+  let run matrix_file size seed worst =
+    let m = load_or_generate matrix_file size seed in
+    let severity = Severity.all m in
+    let system = Selectors.embed_vivaldi (Rng.create seed) m in
+    let ratios =
+      Alert.ratio_matrix ~measured:m
+        ~predicted:(fun i j -> System.predicted system i j)
+    in
+    let points =
+      Eval.evaluate ~ratios ~severity ~worst_fraction:worst
+        ~thresholds:Eval.default_thresholds
+    in
+    Printf.printf "worst fraction: %.0f%%\n" (100. *. worst);
+    Printf.printf "%10s %8s %10s %8s\n" "threshold" "alerts" "accuracy" "recall";
+    List.iter
+      (fun p ->
+        Printf.printf "%10.1f %8d %10.3f %8.3f\n" p.Eval.threshold p.Eval.alerts
+          p.Eval.accuracy p.Eval.recall)
+      points
+  in
+  let worst =
+    Arg.(
+      value & opt float 0.1
+      & info [ "worst" ] ~docv:"F" ~doc:"Worst-edge fraction used as ground truth.")
+  in
+  Cmd.v
+    (Cmd.info "alert" ~doc:"Evaluate the TIV alert mechanism.")
+    Term.(const run $ matrix_arg $ size_arg $ seed_arg $ worst)
+
+(* ---------------------------------------------------------------- *)
+(* synthesize                                                        *)
+
+let synthesize_cmd =
+  let run input output size seed jitter =
+    let module Synthesizer = Tivaware_topology.Synthesizer in
+    let source = Io.load input in
+    let model = Synthesizer.analyze source in
+    Printf.printf "model: %d source nodes, cluster shares [%s], %.1f%% missing\n"
+      (Synthesizer.source_size model)
+      (String.concat "; "
+         (Array.to_list
+            (Array.map (Printf.sprintf "%.2f") (Synthesizer.cluster_fractions model))))
+      (100. *. Synthesizer.missing_fraction model);
+    let synth = Synthesizer.synthesize ~jitter (Rng.create seed) model ~size in
+    Io.save synth output;
+    Printf.printf "wrote %s (%d nodes, %d edges)\n" output size
+      (Matrix.edge_count synth)
+  in
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"Source matrix.")
+  in
+  let output =
+    Arg.(value & opt string "synthesized.dm" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let size =
+    Arg.(value & opt int 1000 & info [ "size"; "n" ] ~docv:"N" ~doc:"Synthetic node count.")
+  in
+  let jitter =
+    Arg.(value & opt float 0.05 & info [ "jitter" ] ~docv:"F" ~doc:"Smoothing jitter fraction.")
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:"Scale a measured delay space to any size (DS2-style synthesis).")
+    Term.(const run $ input $ output $ size $ seed_arg $ jitter)
+
+(* ---------------------------------------------------------------- *)
+(* dht                                                               *)
+
+let dht_cmd =
+  let run matrix_file size seed lookups candidates pns =
+    let module Chord = Tivaware_dht.Chord in
+    let module Id_space = Tivaware_dht.Id_space in
+    let m = load_or_generate matrix_file size seed in
+    let rng = Rng.create seed in
+    let predict =
+      match pns with
+      | `None -> None
+      | `Oracle -> Some (fun a b -> Matrix.get m a b)
+      | `Vivaldi ->
+        let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
+        Some (Selectors.vivaldi_predict system)
+      | `Tiv_aware ->
+        let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
+        Dynamic_neighbors.run system
+          { Dynamic_neighbors.rounds_per_iteration = 100; iterations = 5 };
+        Some (Selectors.vivaldi_predict system)
+    in
+    let overlay = Chord.build ~candidates ?predict m in
+    let latencies = ref [] and hops = ref 0 in
+    for _ = 1 to lookups do
+      let l =
+        Chord.lookup overlay m
+          ~source:(Rng.int rng (Matrix.size m))
+          ~key:(Rng.int rng Id_space.modulus)
+      in
+      latencies := l.Chord.latency :: !latencies;
+      hops := !hops + l.Chord.hops
+    done;
+    let lat = Array.of_list !latencies in
+    Printf.printf
+      "%d lookups: hops mean=%.2f, latency median=%.1f p90=%.1f mean=%.1f ms\n"
+      lookups
+      (float_of_int !hops /. float_of_int lookups)
+      (Stats.median lat)
+      (Stats.percentile lat 90.)
+      (Stats.mean lat)
+  in
+  let lookups =
+    Arg.(value & opt int 1000 & info [ "lookups" ] ~docv:"N" ~doc:"Lookup count.")
+  in
+  let candidates =
+    Arg.(value & opt int 8 & info [ "candidates" ] ~docv:"N" ~doc:"PNS arc candidates.")
+  in
+  let pns =
+    let sources =
+      [ ("none", `None); ("oracle", `Oracle); ("vivaldi", `Vivaldi);
+        ("tiv-aware", `Tiv_aware) ]
+    in
+    Arg.(
+      value & opt (enum sources) `None
+      & info [ "pns" ] ~docv:"SOURCE"
+          ~doc:"Finger proximity source: $(b,none), $(b,oracle), \
+                $(b,vivaldi) or $(b,tiv-aware).")
+  in
+  Cmd.v
+    (Cmd.info "dht" ~doc:"Chord-like DHT lookups with proximity neighbor selection.")
+    Term.(const run $ matrix_arg $ size_arg $ seed_arg $ lookups $ candidates $ pns)
+
+(* ---------------------------------------------------------------- *)
+(* multicast                                                         *)
+
+let multicast_cmd =
+  let run matrix_file size seed max_degree refreshes tiv_aware =
+    let module Multicast = Tivaware_overlay.Multicast in
+    let m = load_or_generate matrix_file size seed in
+    let rng = Rng.create seed in
+    let join_order = Rng.permutation rng (Matrix.size m) in
+    let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
+    if tiv_aware then
+      Dynamic_neighbors.run system
+        { Dynamic_neighbors.rounds_per_iteration = 100; iterations = 5 };
+    let predict = Selectors.vivaldi_predict system in
+    let config = { Multicast.default_config with Multicast.max_degree } in
+    let t = Multicast.build ~config m ~join_order ~predict in
+    let switches = ref 0 in
+    for _ = 1 to refreshes do
+      switches := !switches + Multicast.refresh t rng m ~predict
+    done;
+    let metrics = Multicast.evaluate t m in
+    Printf.printf
+      "members=%d  mean edge=%.1f ms  stretch p50=%.2f p90=%.2f  depth=%d \
+       fanout=%d  (%d refresh switches)\n"
+      metrics.Multicast.members metrics.Multicast.mean_edge_ms
+      metrics.Multicast.median_stretch metrics.Multicast.p90_stretch
+      metrics.Multicast.max_depth metrics.Multicast.max_fanout !switches
+  in
+  let max_degree =
+    Arg.(value & opt int 6 & info [ "max-degree" ] ~docv:"N" ~doc:"Children cap.")
+  in
+  let refreshes =
+    Arg.(value & opt int 0 & info [ "refresh" ] ~docv:"N" ~doc:"Parent refresh passes.")
+  in
+  let tiv_aware =
+    Arg.(value & flag & info [ "tiv-aware" ] ~doc:"Use dynamic-neighbor Vivaldi.")
+  in
+  Cmd.v
+    (Cmd.info "multicast" ~doc:"Build and score an overlay multicast tree.")
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ max_degree $ refreshes
+      $ tiv_aware)
+
+let () =
+  let info =
+    Cmd.info "tivlab" ~version:"1.0.0"
+      ~doc:"Laboratory for TIV-aware distributed systems (IMC 2007 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; survey_cmd; vivaldi_cmd; meridian_cmd; alert_cmd; import_cmd;
+            repair_cmd; synthesize_cmd; dht_cmd; multicast_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/tiv_survey.ml: Array Format List Printf Sys Tivaware_delay_space Tivaware_tiv Tivaware_topology Tivaware_util

@@ -1,0 +1,1 @@
+examples/tiv_survey.mli:

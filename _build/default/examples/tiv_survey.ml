@@ -1,0 +1,78 @@
+(* TIV survey of a delay space — the measurement-study workflow of
+   Section 2, runnable against any delay matrix, including one loaded
+   from disk in the library's text format.
+
+   Run with:  dune exec examples/tiv_survey.exe [matrix-file]
+   Without an argument it surveys a freshly generated DS2-like space. *)
+
+module Rng = Tivaware_util.Rng
+module Stats = Tivaware_util.Stats
+module Cdf = Tivaware_util.Cdf
+module Binned = Tivaware_util.Binned
+module Ascii_plot = Tivaware_util.Ascii_plot
+module Matrix = Tivaware_delay_space.Matrix
+module Io = Tivaware_delay_space.Io
+module Clustering = Tivaware_delay_space.Clustering
+module Properties = Tivaware_delay_space.Properties
+module Datasets = Tivaware_topology.Datasets
+module Generator = Tivaware_topology.Generator
+module Severity = Tivaware_tiv.Severity
+module Triangle = Tivaware_tiv.Triangle
+module Cluster_analysis = Tivaware_tiv.Cluster_analysis
+
+let () =
+  let m =
+    if Array.length Sys.argv > 1 then begin
+      Printf.printf "loading delay matrix from %s\n" Sys.argv.(1);
+      Io.load Sys.argv.(1)
+    end
+    else begin
+      print_endline "no matrix file given; generating a DS2-like space (200 nodes)";
+      (Datasets.generate ~size:200 ~seed:3 Datasets.Ds2).Generator.matrix
+    end
+  in
+  Format.printf "@.== delay space ==@.%a@.@." Properties.pp (Properties.analyze m);
+
+  let census = Triangle.census m in
+  Printf.printf "== triangles ==\n%d of %d triangles violate (%.1f%%), worst ratio %.2f\n\n"
+    census.Triangle.violating census.Triangle.triangles
+    (100. *. census.Triangle.fraction) census.Triangle.worst_ratio;
+
+  let severity, counts = Severity.all_with_counts m in
+  let sevs = Matrix.delays severity in
+  Format.printf "== TIV severity per edge ==@.%a@.@." Stats.pp_summary
+    (Stats.summarize sevs);
+  let cdf = Cdf.of_samples sevs in
+  print_string
+    (Ascii_plot.plot ~x_label:"severity" ~y_label:"cdf"
+       [ ('*', Cdf.points ~max_points:48 cdf) ]);
+
+  print_endline "\n== severity vs edge delay ==";
+  let obs = ref [] in
+  Matrix.iter_edges m (fun i j d ->
+      if Matrix.known severity i j then obs := (d, Matrix.get severity i j) :: !obs);
+  let binned = Binned.make ~width:100. ~x_max:1000. (List.to_seq !obs) in
+  Format.printf "%a@." Binned.pp binned;
+
+  print_endline "== cluster structure ==";
+  let assignment = Clustering.cluster m in
+  Format.printf "%a@." Clustering.pp assignment;
+  let analysis =
+    Cluster_analysis.analyze_with ~severity ~counts assignment
+  in
+  Printf.printf
+    "within-cluster: mean severity %.4f, %.1f violations/edge\n\
+     cross-cluster:  mean severity %.4f, %.1f violations/edge\n"
+    analysis.Cluster_analysis.within_mean_severity
+    analysis.Cluster_analysis.within_mean_violations
+    analysis.Cluster_analysis.cross_mean_severity
+    analysis.Cluster_analysis.cross_mean_violations;
+
+  print_endline "\n== worst 10 edges by severity ==";
+  let worst = Severity.worst_edges severity ~fraction:1.0 in
+  Array.iteri
+    (fun k (i, j) ->
+      if k < 10 then
+        Printf.printf "  %3d-%3d  delay %7.1f ms  severity %.3f\n" i j
+          (Matrix.get m i j) (Matrix.get severity i j))
+    worst

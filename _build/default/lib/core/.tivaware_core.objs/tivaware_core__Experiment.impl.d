@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Float Option Penalty Tivaware_delay_space Tivaware_meridian Tivaware_util

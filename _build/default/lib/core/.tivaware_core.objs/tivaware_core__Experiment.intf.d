@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Tivaware_delay_space Tivaware_meridian Tivaware_util

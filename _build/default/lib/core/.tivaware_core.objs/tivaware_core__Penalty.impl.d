@@ -1,0 +1,1 @@
+lib/core/penalty.ml: Array Printf Tivaware_util

@@ -1,0 +1,116 @@
+module Rng = Tivaware_util.Rng
+module Matrix = Tivaware_delay_space.Matrix
+module Query = Tivaware_meridian.Query
+module Overlay = Tivaware_meridian.Overlay
+
+type result = {
+  penalties : float array;
+  failures : int;
+}
+
+let split_population rng n subset_count =
+  let ids = Rng.permutation rng n in
+  let subset = Array.sub ids 0 subset_count in
+  let rest = Array.sub ids subset_count (n - subset_count) in
+  (subset, rest)
+
+(* Measured optimum among candidates; None when the client has no
+   measured candidate edge. *)
+let optimal_candidate m client candidates =
+  Array.fold_left
+    (fun acc c ->
+      if c = client then acc
+      else begin
+        let d = Matrix.get m client c in
+        if Float.is_nan d then acc
+        else begin
+          match acc with
+          | Some (_, bd) when bd <= d -> acc
+          | _ -> Some (c, d)
+        end
+      end)
+    None candidates
+
+let run_predictor rng m ?(runs = 5) ~candidate_count ~predict () =
+  let n = Matrix.size m in
+  assert (candidate_count > 0 && candidate_count < n);
+  let penalties = ref [] and failures = ref 0 in
+  for _ = 1 to runs do
+    let candidates, clients = split_population rng n candidate_count in
+    Array.iter
+      (fun client ->
+        (* The client trusts its predictor to rank candidates. *)
+        let selected =
+          Array.fold_left
+            (fun acc c ->
+              let p = predict client c in
+              if Float.is_nan p then acc
+              else begin
+                match acc with
+                | Some (_, bp) when bp <= p -> acc
+                | _ -> Some (c, p)
+              end)
+            None candidates
+        in
+        match (selected, optimal_candidate m client candidates) with
+        | Some (sel, _), Some (_, opt_d) ->
+          let sel_d = Matrix.get m client sel in
+          if Float.is_nan sel_d || opt_d <= 0. then incr failures
+          else penalties := Penalty.percentage ~selected:sel_d ~optimal:opt_d :: !penalties
+        | _ -> incr failures)
+      clients
+  done;
+  { penalties = Array.of_list !penalties; failures = !failures }
+
+type meridian_result = {
+  base : result;
+  probes : int;
+  queries : int;
+  hops_mean : float;
+  restarts : int;
+}
+
+let run_meridian rng m ?(runs = 5) ?termination ?fallback ~meridian_count
+    ~build () =
+  let n = Matrix.size m in
+  assert (meridian_count > 1 && meridian_count < n);
+  let penalties = ref [] and failures = ref 0 in
+  let probes = ref 0 and queries = ref 0 and hops = ref 0 and restarts = ref 0 in
+  for _ = 1 to runs do
+    let meridian_nodes, clients = split_population rng n meridian_count in
+    let overlay = build rng meridian_nodes in
+    let fb = Option.map (fun f -> f overlay) fallback in
+    Array.iter
+      (fun client ->
+        let start = meridian_nodes.(Rng.int rng meridian_count) in
+        match Query.optimal overlay m ~target:client with
+        | None -> incr failures
+        | Some (_, opt_d) -> (
+          if Float.is_nan (Matrix.get m start client) then incr failures
+          else begin
+            let outcome =
+              Query.closest ?termination ?fallback:fb overlay m ~start
+                ~target:client
+            in
+            incr queries;
+            probes := !probes + outcome.Query.probes;
+            hops := !hops + outcome.Query.hops;
+            restarts := !restarts + outcome.Query.restarts;
+            if Float.is_nan outcome.Query.chosen_delay || opt_d <= 0. then
+              incr failures
+            else
+              penalties :=
+                Penalty.percentage ~selected:outcome.Query.chosen_delay
+                  ~optimal:opt_d
+                :: !penalties
+          end))
+      clients
+  done;
+  {
+    base = { penalties = Array.of_list !penalties; failures = !failures };
+    probes = !probes;
+    queries = !queries;
+    hops_mean =
+      (if !queries = 0 then 0. else float_of_int !hops /. float_of_int !queries);
+    restarts = !restarts;
+  }

@@ -1,0 +1,19 @@
+module Stats = Tivaware_util.Stats
+
+let percentage ~selected ~optimal =
+  if optimal <= 0. then invalid_arg "Penalty.percentage: optimal must be > 0";
+  (selected -. optimal) *. 100. /. optimal
+
+let summarize penalties =
+  if Array.length penalties = 0 then "no samples"
+  else begin
+    let perfect =
+      Array.fold_left (fun acc p -> if p <= 1e-9 then acc + 1 else acc) 0 penalties
+    in
+    Printf.sprintf "n=%d median=%.1f%% p90=%.1f%% mean=%.1f%% perfect=%.1f%%"
+      (Array.length penalties)
+      (Stats.median penalties)
+      (Stats.percentile penalties 90.)
+      (Stats.mean penalties)
+      (100. *. float_of_int perfect /. float_of_int (Array.length penalties))
+  end

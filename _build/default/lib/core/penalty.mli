@@ -1,0 +1,15 @@
+(** Percentage penalty — the paper's neighbor-selection quality metric.
+
+    [penalty = (delay_to_selected - delay_to_optimal) * 100
+               / delay_to_optimal]
+
+    where delays are measured, the optimal neighbor is the candidate
+    with the smallest measured delay to the client, and the selected
+    neighbor is whatever the mechanism under test picked. *)
+
+val percentage : selected:float -> optimal:float -> float
+(** Raises [Invalid_argument] when [optimal <= 0]. *)
+
+val summarize : float array -> string
+(** Human-readable digest: median / p90 / mean, plus the fraction of
+    perfect selections (penalty 0). *)

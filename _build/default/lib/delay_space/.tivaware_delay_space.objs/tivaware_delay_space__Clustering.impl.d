@@ -1,0 +1,1 @@
+lib/delay_space/clustering.ml: Array Float Format List Matrix

@@ -1,0 +1,1 @@
+lib/delay_space/io.ml: Array Float Fun In_channel List Matrix Printf String

@@ -1,0 +1,1 @@
+lib/delay_space/matrix.mli:

@@ -1,0 +1,1 @@
+lib/delay_space/properties.ml: Array Format Matrix Tivaware_util

@@ -1,0 +1,1 @@
+lib/delay_space/properties.mli: Format Matrix Tivaware_util

@@ -1,0 +1,1 @@
+lib/delay_space/repair.ml: Array Float List Matrix Shortest_path Tivaware_util

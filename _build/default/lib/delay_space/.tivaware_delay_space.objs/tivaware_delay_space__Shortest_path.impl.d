@@ -1,0 +1,1 @@
+lib/delay_space/shortest_path.ml: Array Float List Matrix

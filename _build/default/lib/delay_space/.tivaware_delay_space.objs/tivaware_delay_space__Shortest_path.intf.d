@@ -1,0 +1,1 @@
+lib/delay_space/shortest_path.mli: Matrix

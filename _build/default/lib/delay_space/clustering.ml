@@ -1,0 +1,130 @@
+type assignment = {
+  clusters : int array array;
+  noise : int array;
+  label : int array;
+}
+
+(* Number of unassigned nodes within [radius] of [center]. *)
+let ball_size m assigned radius center =
+  let n = Matrix.size m in
+  let count = ref 0 in
+  for j = 0 to n - 1 do
+    if (not assigned.(j)) && j <> center then begin
+      let d = Matrix.get m center j in
+      if (not (Float.is_nan d)) && d <= radius then incr count
+    end
+  done;
+  !count
+
+let extract_ball m assigned radius center =
+  let n = Matrix.size m in
+  let members = ref [ center ] in
+  assigned.(center) <- true;
+  for j = 0 to n - 1 do
+    if (not assigned.(j)) && j <> center then begin
+      let d = Matrix.get m center j in
+      if (not (Float.is_nan d)) && d <= radius then begin
+        assigned.(j) <- true;
+        members := j :: !members
+      end
+    end
+  done;
+  Array.of_list !members
+
+(* The medoid minimizes the sum of known delays to other members. *)
+let medoid m members =
+  let cost c =
+    Array.fold_left
+      (fun acc j ->
+        if j = c then acc
+        else begin
+          let d = Matrix.get m c j in
+          if Float.is_nan d then acc +. 1e6 else acc +. d
+        end)
+      0. members
+  in
+  let best = ref members.(0) and best_cost = ref (cost members.(0)) in
+  Array.iter
+    (fun c ->
+      let k = cost c in
+      if k < !best_cost then begin
+        best := c;
+        best_cost := k
+      end)
+    members;
+  !best
+
+let cluster ?(k = 3) ?(radius_ms = 50.) m =
+  let n = Matrix.size m in
+  let assigned = Array.make n false in
+  let seeds = ref [] in
+  (* Greedy ball extraction to find k seed clusters. *)
+  for _ = 1 to k do
+    let best = ref (-1) and best_size = ref (-1) in
+    for i = 0 to n - 1 do
+      if not assigned.(i) then begin
+        let s = ball_size m assigned radius_ms i in
+        if s > !best_size then begin
+          best := i;
+          best_size := s
+        end
+      end
+    done;
+    if !best >= 0 then begin
+      let members = extract_ball m assigned radius_ms !best in
+      seeds := members :: !seeds
+    end
+  done;
+  let seeds = List.rev !seeds in
+  (* Medoid refinement: reassign every node to the nearest medoid if it
+     is within the radius; otherwise it is noise. *)
+  let medoids = List.map (medoid m) seeds in
+  let medoids = Array.of_list medoids in
+  let label = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    let best = ref (-1) and best_d = ref infinity in
+    Array.iteri
+      (fun c med ->
+        let d = if i = med then 0. else Matrix.get m i med in
+        if (not (Float.is_nan d)) && d < !best_d then begin
+          best := c;
+          best_d := d
+        end)
+      medoids;
+    if !best >= 0 && !best_d <= radius_ms then label.(i) <- !best
+  done;
+  (* Collect members; sort clusters by decreasing size and relabel. *)
+  let k_actual = Array.length medoids in
+  let buckets = Array.make k_actual [] in
+  let noise = ref [] in
+  for i = n - 1 downto 0 do
+    if label.(i) >= 0 then buckets.(label.(i)) <- i :: buckets.(label.(i))
+    else noise := i :: !noise
+  done;
+  let order = Array.init k_actual (fun c -> c) in
+  Array.sort
+    (fun a b -> compare (List.length buckets.(b)) (List.length buckets.(a)))
+    order;
+  let clusters = Array.map (fun c -> Array.of_list buckets.(c)) order in
+  let final_label = Array.make n (-1) in
+  Array.iteri
+    (fun new_c members -> Array.iter (fun i -> final_label.(i) <- new_c) members)
+    clusters;
+  { clusters; noise = Array.of_list !noise; label = final_label }
+
+let reorder a =
+  let out = ref [] in
+  Array.iter (fun i -> out := i :: !out) a.noise;
+  for c = Array.length a.clusters - 1 downto 0 do
+    Array.iter (fun i -> out := i :: !out) a.clusters.(c)
+  done;
+  Array.of_list !out
+
+let same_cluster a i j = a.label.(i) >= 0 && a.label.(i) = a.label.(j)
+
+let pp ppf a =
+  Format.fprintf ppf "clusters:";
+  Array.iteri
+    (fun c members -> Format.fprintf ppf " #%d=%d" c (Array.length members))
+    a.clusters;
+  Format.fprintf ppf " noise=%d" (Array.length a.noise)

@@ -1,0 +1,36 @@
+(** Major-cluster classification of a delay space.
+
+    Following the methodology of Zhang et al. (IMC 2006, the DS² paper)
+    used in Section 2.2: nodes are classified into a small number of
+    major clusters (continents in measured data) plus a noise cluster.
+
+    The algorithm is greedy ball extraction followed by medoid
+    refinement: repeatedly pick the unassigned node whose delay-ball of
+    radius [radius_ms] contains the most unassigned nodes, make that
+    ball a cluster, and finally reassign every node to the cluster with
+    the nearest medoid if within [radius_ms]; unassigned nodes form the
+    noise cluster. *)
+
+type assignment = {
+  clusters : int array array;
+      (** [clusters.(c)] lists member nodes of cluster [c], largest
+          cluster first.  The noise cluster is not included here. *)
+  noise : int array;
+  label : int array;
+      (** [label.(i)] is the cluster index of node [i], or [-1] for
+          noise. *)
+}
+
+val cluster : ?k:int -> ?radius_ms:float -> Matrix.t -> assignment
+(** [cluster m] extracts [k] (default 3) major clusters with ball radius
+    [radius_ms] (default 50 ms, roughly intra-continental). *)
+
+val reorder : assignment -> int array
+(** Node permutation that groups members of the same cluster
+    contiguously — largest cluster first, then smaller clusters, then
+    noise — as used to render Figure 3. *)
+
+val same_cluster : assignment -> int -> int -> bool
+(** [true] when both nodes carry the same non-noise label. *)
+
+val pp : Format.formatter -> assignment -> unit

@@ -1,0 +1,26 @@
+module Stats = Tivaware_util.Stats
+
+type t = {
+  nodes : int;
+  edges : int;
+  missing_fraction : float;
+  delay : Stats.summary;
+}
+
+let analyze m =
+  let n = Matrix.size m in
+  let delays = Matrix.delays m in
+  let edges = Array.length delays in
+  let pairs = n * (n - 1) / 2 in
+  {
+    nodes = n;
+    edges;
+    missing_fraction =
+      (if pairs = 0 then 0.
+       else float_of_int (pairs - edges) /. float_of_int pairs);
+    delay = Stats.summarize delays;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "nodes=%d edges=%d missing=%.2f%% delay: %a" t.nodes
+    t.edges (100. *. t.missing_fraction) Stats.pp_summary t.delay

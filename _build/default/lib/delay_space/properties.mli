@@ -1,0 +1,13 @@
+(** Basic descriptive properties of a delay space. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  missing_fraction : float;  (** fraction of off-diagonal pairs missing *)
+  delay : Tivaware_util.Stats.summary;
+}
+
+val analyze : Matrix.t -> t
+(** Raises [Invalid_argument] when the matrix has no present edge. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(* Dense Dijkstra: the delay graph is (nearly) complete, so the O(n^2)
+   scan-for-minimum variant beats a heap-based implementation. *)
+let single_source m src =
+  let n = Matrix.size m in
+  let dist = Array.make n infinity in
+  let done_ = Array.make n false in
+  dist.(src) <- 0.;
+  let exception Finished in
+  (try
+     for _ = 0 to n - 1 do
+       let u = ref (-1) and best = ref infinity in
+       for i = 0 to n - 1 do
+         if (not done_.(i)) && dist.(i) < !best then begin
+           u := i;
+           best := dist.(i)
+         end
+       done;
+       if !u < 0 then raise Finished;
+       let u = !u in
+       done_.(u) <- true;
+       for v = 0 to n - 1 do
+         if not done_.(v) then begin
+           let w = Matrix.get m u v in
+           if (not (Float.is_nan w)) && dist.(u) +. w < dist.(v) then
+             dist.(v) <- dist.(u) +. w
+         end
+       done
+     done
+   with Finished -> ());
+  dist
+
+let all_pairs m =
+  let n = Matrix.size m in
+  let out = Matrix.create n in
+  for src = 0 to n - 1 do
+    let dist = single_source m src in
+    for j = src + 1 to n - 1 do
+      if dist.(j) < infinity then Matrix.set out src j dist.(j)
+    done
+  done;
+  out
+
+let inflation m =
+  let sp = all_pairs m in
+  let out = ref [] in
+  Matrix.iter_edges m (fun i j measured ->
+      let shortest = Matrix.get sp i j in
+      out := (i, j, measured, shortest) :: !out);
+  Array.of_list (List.rev !out)

@@ -1,0 +1,22 @@
+(** Shortest paths over the complete delay graph.
+
+    The paper's Figure 8 compares each edge's measured delay with the
+    length of the shortest alternative path through other nodes; a large
+    gap is exactly what makes an edge cause severe TIVs.  Missing matrix
+    entries are treated as absent edges. *)
+
+val single_source : Matrix.t -> int -> float array
+(** [single_source m src] is the array of shortest-path distances from
+    [src] to every node (dense Dijkstra, O(n²)); unreachable nodes get
+    [infinity]. *)
+
+val all_pairs : Matrix.t -> Matrix.t
+(** Shortest-path closure of the delay graph: entry [(i, j)] is the
+    length of the shortest path between [i] and [j] (which is [<=] the
+    measured delay when the measurement exists). *)
+
+val inflation : Matrix.t -> (int * int * float * float) array
+(** For every present edge, [(i, j, measured, shortest)].  The ratio
+    [measured /. shortest] is the routing inflation of the edge;
+    [> 1] means a shorter alternative path exists, i.e. the edge causes
+    TIVs. *)

@@ -1,0 +1,1 @@
+lib/dht/chord.ml: Array Float Hashtbl Id_space List Tivaware_delay_space

@@ -1,0 +1,1 @@
+lib/dht/chord.mli: Tivaware_delay_space

@@ -1,0 +1,1 @@
+lib/dht/id_space.ml: Int64

@@ -1,0 +1,165 @@
+module Matrix = Tivaware_delay_space.Matrix
+
+type t = {
+  ids : int array;  (* ids.(node) = identifier *)
+  sorted : (int * int) array;  (* (id, node), ascending by id *)
+  successors : int array;  (* successors.(node) = node index *)
+  finger_tables : int array array;  (* deduplicated finger node indices *)
+}
+
+let size t = Array.length t.ids
+let node_id t node = t.ids.(node)
+let successor t node = t.successors.(node)
+let fingers t node = Array.copy t.finger_tables.(node)
+
+(* First (id, node) whose id is >= key, wrapping to the smallest. *)
+let owner_entry sorted key =
+  let n = Array.length sorted in
+  let rec search lo hi =
+    (* invariant: fst sorted.(i) < key for i < lo; >= key for i >= hi *)
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if fst sorted.(mid) < key then search (mid + 1) hi else search lo mid
+    end
+  in
+  let pos = search 0 n in
+  sorted.(if pos = n then 0 else pos)
+
+let owner_of t key = snd (owner_entry t.sorted key)
+
+(* Nodes whose ids fall in the clockwise arc [lo, hi), in arc order,
+   at most [limit] of them. *)
+let arc_candidates sorted lo hi limit =
+  let n = Array.length sorted in
+  let start =
+    let rec search l h =
+      if l >= h then l
+      else begin
+        let mid = (l + h) / 2 in
+        if fst sorted.(mid) < lo then search (mid + 1) h else search l mid
+      end
+    in
+    let pos = search 0 n in
+    if pos = n then 0 else pos
+  in
+  let span = Id_space.distance_cw lo hi in
+  let out = ref [] and count = ref 0 and k = ref start in
+  let continue_ = ref (span > 0) in
+  while !continue_ && !count < limit do
+    let id, node = sorted.(!k mod n) in
+    if Id_space.distance_cw lo id < span then begin
+      out := node :: !out;
+      incr count;
+      k := !k + 1;
+      if !k - start >= n then continue_ := false
+    end
+    else continue_ := false
+  done;
+  List.rev !out
+
+let build ?(candidates = 8) ?predict m =
+  let n = Matrix.size m in
+  assert (n >= 2);
+  let ids = Array.init n Id_space.of_node in
+  let sorted = Array.init n (fun node -> (ids.(node), node)) in
+  Array.sort compare sorted;
+  let position = Array.make n 0 in
+  Array.iteri (fun pos (_, node) -> position.(node) <- pos) sorted;
+  let successors =
+    Array.init n (fun node -> snd sorted.((position.(node) + 1) mod n))
+  in
+  let finger_of node k =
+    let lo = Id_space.add ids.(node) (Id_space.power_offset k) in
+    let hi =
+      if k + 1 >= Id_space.bits then lo (* empty arc: full wrap handled below *)
+      else Id_space.add ids.(node) (Id_space.power_offset (k + 1))
+    in
+    match arc_candidates sorted lo hi candidates with
+    | [] ->
+      (* Classical Chord fallback: successor of (id + 2^k). *)
+      let owner = snd (owner_entry sorted lo) in
+      if owner = node then None else Some owner
+    | first :: _ as cands -> (
+      match predict with
+      | None -> if first = node then None else Some first
+      | Some predict ->
+        let best =
+          List.fold_left
+            (fun acc c ->
+              if c = node then acc
+              else begin
+                let p = predict node c in
+                if Float.is_nan p then acc
+                else begin
+                  match acc with
+                  | Some (_, bp) when bp <= p -> acc
+                  | _ -> Some (c, p)
+                end
+              end)
+            None cands
+        in
+        (match best with
+        | Some (c, _) -> Some c
+        | None -> if first = node then None else Some first))
+  in
+  let finger_tables =
+    Array.init n (fun node ->
+        let seen = Hashtbl.create 16 in
+        let out = ref [] in
+        for k = 0 to Id_space.bits - 1 do
+          match finger_of node k with
+          | Some f when not (Hashtbl.mem seen f) ->
+            Hashtbl.replace seen f ();
+            out := f :: !out
+          | _ -> ()
+        done;
+        Array.of_list !out)
+  in
+  { ids; sorted; successors; finger_tables }
+
+type lookup = {
+  hops : int;
+  latency : float;
+  route : int list;
+  owner : int;
+}
+
+let lookup t m ~source ~key =
+  let n = size t in
+  if source < 0 || source >= n then invalid_arg "Chord.lookup: bad source";
+  let owner = owner_of t key in
+  let hop_cost a b =
+    let d = Matrix.get m a b in
+    if Float.is_nan d then 0. else d
+  in
+  let rec route_from cur latency hops acc =
+    if cur = owner then
+      { hops; latency; route = List.rev acc; owner }
+    else begin
+      let cur_id = t.ids.(cur) in
+      let succ = t.successors.(cur) in
+      let succ_id = t.ids.(succ) in
+      (* Owner reached next hop when the key lies in (cur, successor]. *)
+      if Id_space.between_cw cur_id key succ_id || key = succ_id then
+        route_from succ (latency +. hop_cost cur succ) (hops + 1) (succ :: acc)
+      else begin
+        (* Closest preceding node among fingers, else the successor. *)
+        let next =
+          Array.fold_left
+            (fun acc f ->
+              let fid = t.ids.(f) in
+              if Id_space.between_cw cur_id fid key then begin
+                match acc with
+                | Some (_, bd) when bd >= Id_space.distance_cw cur_id fid -> acc
+                | _ -> Some (f, Id_space.distance_cw cur_id fid)
+              end
+              else acc)
+            None t.finger_tables.(cur)
+        in
+        let next = match next with Some (f, _) -> f | None -> succ in
+        route_from next (latency +. hop_cost cur next) (hops + 1) (next :: acc)
+      end
+    end
+  in
+  route_from source 0. 0 [ source ]

@@ -1,0 +1,59 @@
+(** A Chord-like structured overlay with pluggable proximity neighbor
+    selection (PNS).
+
+    The paper's introduction motivates TIV awareness with exactly this
+    workload: structured overlays pick finger-table entries among
+    id-space candidates by network proximity, and a TIV-confused
+    proximity estimate inflates every lookup.
+
+    The overlay is built statically over a delay matrix (no churn — the
+    paper's experiments are delay-space simulations).  Each node gets:
+
+    - a successor pointer (next node clockwise in id space);
+    - one finger per power-of-two offset [2^k].  With plain Chord the
+      finger is the first node at or after [id + 2^k]; with PNS it is
+      the {e proximity-best} node, under a caller-supplied delay
+      predictor, among the first [candidates] nodes of the arc
+      [[id + 2^k, id + 2^(k+1))] (Gummadi et al.'s PNS(k)).
+
+    Lookups use greedy clockwise routing and report both hop count and
+    accumulated measured network latency. *)
+
+type t
+
+val build :
+  ?candidates:int ->
+  ?predict:(int -> int -> float) ->
+  Tivaware_delay_space.Matrix.t ->
+  t
+(** [build m] constructs the overlay over all nodes of [m].  Without
+    [predict], plain Chord fingers.  With [predict], PNS fingers chosen
+    among [candidates] (default 8) arc candidates by smallest predicted
+    delay; candidates whose prediction is [nan] are skipped (falling
+    back to the first candidate). *)
+
+val size : t -> int
+val node_id : t -> int -> int
+(** Identifier of a node index. *)
+
+val successor : t -> int -> int
+(** Node index of the successor on the ring. *)
+
+val fingers : t -> int -> int array
+(** Finger node indices (deduplicated, unordered). *)
+
+type lookup = {
+  hops : int;
+  latency : float;  (** sum of measured delays along the route, ms *)
+  route : int list;  (** node indices, source first *)
+  owner : int;  (** node responsible for the key *)
+}
+
+val lookup : t -> Tivaware_delay_space.Matrix.t -> source:int -> key:int -> lookup
+(** Greedy clockwise routing from [source] to the node owning [key].
+    Hops with missing measurements contribute 0 latency (the overlay
+    link exists regardless).  Raises [Invalid_argument] on a bad
+    source. *)
+
+val owner_of : t -> int -> int
+(** The node index whose id is the first at or after [key]. *)

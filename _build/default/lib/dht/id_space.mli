@@ -1,0 +1,28 @@
+(** Circular 61-bit identifier space for the Chord-like overlay.
+
+    Identifiers live in [0, 2^61); all arithmetic wraps.  61 bits keeps
+    every value a non-negative OCaml [int] on 64-bit platforms. *)
+
+val bits : int
+(** 61. *)
+
+val modulus : int
+(** [2^bits]. *)
+
+val of_node : int -> int
+(** Deterministic pseudo-random identifier for a node index (SplitMix64
+    finalizer), uniform over the space. *)
+
+val distance_cw : int -> int -> int
+(** Clockwise distance from [a] to [b]: the amount to add to [a]
+    (mod [modulus]) to reach [b]. *)
+
+val between_cw : int -> int -> int -> bool
+(** [between_cw a x b]: is [x] strictly inside the clockwise arc from
+    [a] to [b]?  (Chord's "x in (a, b)" test.) *)
+
+val add : int -> int -> int
+(** Addition modulo [modulus]. *)
+
+val power_offset : int -> int
+(** [power_offset k] is [2^k] for [k < bits]. *)

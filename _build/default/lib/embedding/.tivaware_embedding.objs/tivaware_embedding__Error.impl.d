@@ -1,0 +1,1 @@
+lib/embedding/error.ml: Array Format Tivaware_delay_space Tivaware_util

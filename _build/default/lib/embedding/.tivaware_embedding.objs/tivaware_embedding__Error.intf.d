@@ -1,0 +1,1 @@
+lib/embedding/error.mli: Format Tivaware_delay_space

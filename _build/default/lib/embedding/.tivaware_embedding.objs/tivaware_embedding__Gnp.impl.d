@@ -1,0 +1,1 @@
+lib/embedding/gnp.ml: Array Float Hashtbl Tivaware_delay_space Tivaware_util

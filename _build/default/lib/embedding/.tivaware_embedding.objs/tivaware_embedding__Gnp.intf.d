@@ -1,0 +1,1 @@
+lib/embedding/gnp.mli: Tivaware_delay_space Tivaware_util

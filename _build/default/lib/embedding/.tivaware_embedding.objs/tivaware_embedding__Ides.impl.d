@@ -1,0 +1,1 @@
+lib/embedding/ides.ml: Array Float Hashtbl List Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/embedding/ides.mli: Tivaware_delay_space Tivaware_util

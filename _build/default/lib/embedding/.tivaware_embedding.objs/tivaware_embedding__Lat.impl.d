@@ -1,0 +1,1 @@
+lib/embedding/lat.ml: Array Float Tivaware_delay_space Tivaware_util Tivaware_vivaldi

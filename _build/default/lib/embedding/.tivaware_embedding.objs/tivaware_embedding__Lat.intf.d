@@ -1,0 +1,1 @@
+lib/embedding/lat.mli: Tivaware_util Tivaware_vivaldi

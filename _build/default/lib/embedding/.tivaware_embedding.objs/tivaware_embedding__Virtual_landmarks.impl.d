@@ -1,0 +1,1 @@
+lib/embedding/virtual_landmarks.ml: Array Float List Tivaware_delay_space Tivaware_util

@@ -1,0 +1,33 @@
+module Stats = Tivaware_util.Stats
+module Matrix = Tivaware_delay_space.Matrix
+
+type t = {
+  median_abs : float;
+  p90_abs : float;
+  median_rel : float;
+  p90_rel : float;
+  edges : int;
+}
+
+let evaluate m ~predicted =
+  let abs_errs = ref [] and rel_errs = ref [] in
+  Matrix.iter_edges m (fun i j d ->
+      if d > 1e-9 then begin
+        let e = abs_float (predicted i j -. d) in
+        abs_errs := e :: !abs_errs;
+        rel_errs := (e /. d) :: !rel_errs
+      end);
+  let abs_errs = Array.of_list !abs_errs in
+  let rel_errs = Array.of_list !rel_errs in
+  {
+    median_abs = Stats.median abs_errs;
+    p90_abs = Stats.percentile abs_errs 90.;
+    median_rel = Stats.median rel_errs;
+    p90_rel = Stats.percentile rel_errs 90.;
+    edges = Array.length abs_errs;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "edges=%d abs: p50=%.2fms p90=%.2fms  rel: p50=%.3f p90=%.3f" t.edges
+    t.median_abs t.p90_abs t.median_rel t.p90_rel

@@ -1,0 +1,19 @@
+(** Aggregate prediction-error metrics for any delay predictor.
+
+    Used to compare embedding quality across Vivaldi, IDES and LAT — the
+    paper's point being that better aggregate accuracy does {e not}
+    imply better neighbor selection. *)
+
+type t = {
+  median_abs : float;  (** median |predicted - measured|, ms *)
+  p90_abs : float;
+  median_rel : float;  (** median |predicted - measured| / measured *)
+  p90_rel : float;
+  edges : int;
+}
+
+val evaluate :
+  Tivaware_delay_space.Matrix.t -> predicted:(int -> int -> float) -> t
+(** Over all present edges with measured delay > 0. *)
+
+val pp : Format.formatter -> t -> unit

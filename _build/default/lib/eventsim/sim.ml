@@ -1,0 +1,46 @@
+module Pqueue = Tivaware_util.Pqueue
+
+type t = { mutable clock : float; queue : (unit -> unit) Pqueue.t }
+
+let create () = { clock = 0.; queue = Pqueue.create () }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
+  Pqueue.push t.queue time f
+
+let schedule_after t delay f =
+  if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at t (t.clock +. delay) f
+
+let pending t = Pqueue.length t.queue
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until t =
+  let continue () =
+    match (Pqueue.peek t.queue, until) with
+    | None, _ -> false
+    | Some _, None -> true
+    | Some (time, _), Some limit -> time <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when t.clock < limit && Pqueue.is_empty t.queue -> t.clock <- limit
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | _ -> ()
+
+let reset t =
+  Pqueue.clear t.queue;
+  t.clock <- 0.

@@ -1,0 +1,39 @@
+(** Discrete-event simulation engine.
+
+    A simulator owns a virtual clock and a pending-event heap.  Events
+    are closures scheduled at absolute or relative virtual times; running
+    the simulator pops events in timestamp order (FIFO among equal
+    timestamps) and executes them, which may schedule further events.
+
+    The engine is deliberately minimal: Meridian's online recursive query
+    only needs message-at-a-delay semantics, and keeping the core small
+    makes its behaviour easy to audit in tests. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time (seconds by convention; milliseconds also work,
+    the engine is unit-agnostic). *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs [f] when the clock reaches [time].
+    Scheduling in the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** [schedule_after t delay f] = [schedule_at t (now t +. delay)]. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val run : ?until:float -> t -> unit
+(** Executes events in order until the queue drains or the next event's
+    timestamp exceeds [until].  The clock ends at the last executed
+    event's time (or [until] if given and reached). *)
+
+val step : t -> bool
+(** Executes exactly one event; [false] when the queue is empty. *)
+
+val reset : t -> unit
+(** Clears the queue and rewinds the clock to 0. *)

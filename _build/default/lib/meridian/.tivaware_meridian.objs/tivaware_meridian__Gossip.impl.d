@@ -1,0 +1,1 @@
+lib/meridian/gossip.ml: Array Float Hashtbl List Tivaware_delay_space Tivaware_eventsim Tivaware_util

@@ -1,0 +1,1 @@
+lib/meridian/gossip.mli: Tivaware_delay_space Tivaware_eventsim Tivaware_util

@@ -1,0 +1,1 @@
+lib/meridian/misplacement.ml: Array Float Hashtbl List Tivaware_delay_space

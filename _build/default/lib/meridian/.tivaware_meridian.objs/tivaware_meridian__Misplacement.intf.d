@@ -1,0 +1,1 @@
+lib/meridian/misplacement.mli: Tivaware_delay_space

@@ -1,0 +1,1 @@
+lib/meridian/online.ml: Float Hashtbl List Overlay Query Ring Tivaware_delay_space Tivaware_eventsim

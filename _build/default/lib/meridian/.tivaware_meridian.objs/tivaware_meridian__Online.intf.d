@@ -1,0 +1,1 @@
+lib/meridian/online.mli: Overlay Query Tivaware_delay_space Tivaware_eventsim

@@ -1,0 +1,1 @@
+lib/meridian/overlay.ml: Array Float Hashtbl List Ring Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/meridian/overlay.mli: Ring Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/meridian/query.ml: Array Float Hashtbl List Overlay Ring Tivaware_delay_space

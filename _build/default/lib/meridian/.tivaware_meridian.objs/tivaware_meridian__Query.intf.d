@@ -1,0 +1,1 @@
+lib/meridian/query.mli: Overlay Tivaware_delay_space

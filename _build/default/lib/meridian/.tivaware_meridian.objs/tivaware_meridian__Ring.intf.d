@@ -1,0 +1,1 @@
+lib/meridian/ring.mli:

@@ -1,0 +1,1 @@
+lib/meridian/tiv_aware.ml: Float List Overlay Query Ring Tivaware_delay_space

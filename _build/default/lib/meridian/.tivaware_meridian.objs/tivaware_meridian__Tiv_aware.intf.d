@@ -1,0 +1,1 @@
+lib/meridian/tiv_aware.mli: Overlay Query Ring Tivaware_delay_space

@@ -1,0 +1,56 @@
+module Matrix = Tivaware_delay_space.Matrix
+
+type sample = {
+  dij : float;
+  near_nj : int;
+  misplaced : int;
+}
+
+let census m ~beta =
+  let n = Matrix.size m in
+  let rows = Array.init n (fun i -> Matrix.row m i) in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let ri = rows.(i) in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let dij = ri.(j) in
+        if not (Float.is_nan dij) then begin
+          let rj = rows.(j) in
+          let lo = (1. -. beta) *. dij and hi = (1. +. beta) *. dij in
+          let near = ref 0 and mis = ref 0 in
+          for k = 0 to n - 1 do
+            if k <> i && k <> j then begin
+              let djk = rj.(k) in
+              if (not (Float.is_nan djk)) && djk <= beta *. dij then begin
+                let dik = ri.(k) in
+                if not (Float.is_nan dik) then begin
+                  incr near;
+                  if dik < lo || dik > hi then incr mis
+                end
+              end
+            end
+          done;
+          if !near > 0 then out := { dij; near_nj = !near; misplaced = !mis } :: !out
+        end
+      end
+    done
+  done;
+  Array.of_list !out
+
+let misplaced_fraction_by_delay m ~beta ~bin_width =
+  let samples = census m ~beta in
+  let sums = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      let bin = int_of_float (s.dij /. bin_width) in
+      let frac = float_of_int s.misplaced /. float_of_int s.near_nj in
+      match Hashtbl.find_opt sums bin with
+      | Some (acc, count) -> Hashtbl.replace sums bin (acc +. frac, count + 1)
+      | None -> Hashtbl.add sums bin (frac, 1))
+    samples;
+  Hashtbl.fold
+    (fun bin (acc, count) l ->
+      (((float_of_int bin +. 0.5) *. bin_width, acc /. float_of_int count)) :: l)
+    sums []
+  |> List.sort compare

@@ -1,0 +1,41 @@
+(** Online Meridian queries over the discrete-event simulator.
+
+    {!Query.closest} evaluates a query instantaneously; this module
+    replays the same recursive protocol as timed message exchanges on a
+    {!Tivaware_eventsim.Sim.t}, yielding wall-clock (virtual time) query
+    latency in addition to probe counts:
+
+    - the client's request reaches the start node after half its RTT to
+      it (we only have RTTs, so one-way = RTT / 2);
+    - at each hop the current node probes the target (one RTT), then
+      fans out to its eligible ring members in parallel; each member
+      costs (RTT to member) + (member's probe RTT to target) before its
+      report is back;
+    - the hop completes when the slowest eligible member reports
+      (Meridian waits for all acceptable members);
+    - forwarding to the next node costs half the RTT between them, and
+      the final answer returns to the client after half the client-to-
+      chosen RTT.
+
+    The recursion, acceptance window, termination rule and answer are
+    identical to {!Query.closest} — property tests assert this — so the
+    module adds {e timing}, not different semantics. *)
+
+type outcome = {
+  query : Query.outcome;  (** the logical result (same as offline) *)
+  latency : float;  (** virtual ms from client send to answer received *)
+}
+
+val closest :
+  ?termination:Query.termination ->
+  Tivaware_eventsim.Sim.t ->
+  Overlay.t ->
+  Tivaware_delay_space.Matrix.t ->
+  client:int ->
+  start:int ->
+  target:int ->
+  outcome
+(** Runs the simulator until the query completes.  The simulator's
+    clock keeps advancing across calls, so one [Sim.t] can serve many
+    sequential queries.  Raises like {!Query.closest}; additionally the
+    client must have a measured delay to the start node. *)

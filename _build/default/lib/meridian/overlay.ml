@@ -1,0 +1,168 @@
+module Rng = Tivaware_util.Rng
+module Matrix = Tivaware_delay_space.Matrix
+
+type member = { id : int; delay : float }
+
+type t = {
+  config : Ring.config;
+  meridian_nodes : int array;
+  meridian_set : (int, unit) Hashtbl.t;
+  (* rings.(node_slot).(ring-1) = members; node_slot indexes
+     meridian_nodes. *)
+  rings : member list array array;
+  slot_of : (int, int) Hashtbl.t;
+}
+
+let config t = t.config
+let meridian_nodes t = Array.copy t.meridian_nodes
+let is_meridian t id = Hashtbl.mem t.meridian_set id
+
+let slot t id =
+  match Hashtbl.find_opt t.slot_of id with
+  | Some s -> s
+  | None -> invalid_arg "Overlay: not a Meridian node"
+
+type selection = First_come | Diverse
+
+(* Minimum pairwise measured delay within a prospective member set; the
+   diversity score Meridian's hypervolume rule approximates. *)
+let min_pairwise_delay matrix ids =
+  let rec scan acc = function
+    | [] -> acc
+    | id :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc other ->
+            let d = Matrix.get matrix id other in
+            if Float.is_nan d then acc else Float.min acc d)
+          acc rest
+      in
+      scan acc rest
+  in
+  scan infinity ids
+
+(* Try to improve ring diversity by swapping one primary member for the
+   candidate; returns the new member list or None when no swap helps. *)
+let diversity_swap matrix members candidate =
+  let ids = List.map (fun m -> m.id) members in
+  let current = min_pairwise_delay matrix ids in
+  let best = ref None in
+  List.iteri
+    (fun drop _ ->
+      let remaining = List.filteri (fun k _ -> k <> drop) members in
+      let score =
+        min_pairwise_delay matrix (candidate.id :: List.map (fun m -> m.id) remaining)
+      in
+      match !best with
+      | Some (_, bs) when bs >= score -> ()
+      | _ -> best := Some (candidate :: remaining, score))
+    members;
+  match !best with
+  | Some (swapped, score) when score > current -> Some swapped
+  | _ -> None
+
+let build ?(edge_filter = fun _ _ -> true) ?placement
+    ?(selection = First_come) ?candidates rng matrix cfg ~meridian_nodes =
+  let placement =
+    match placement with
+    | Some f -> f
+    | None -> fun _ _ delay -> [ (Ring.ring_of cfg delay, delay) ]
+  in
+  let count = Array.length meridian_nodes in
+  let meridian_set = Hashtbl.create count in
+  let slot_of = Hashtbl.create count in
+  Array.iteri
+    (fun s id ->
+      Hashtbl.replace meridian_set id ();
+      Hashtbl.replace slot_of id s)
+    meridian_nodes;
+  let rings = Array.init count (fun _ -> Array.make cfg.Ring.rings []) in
+  let primary = Array.init count (fun _ -> Array.make cfg.Ring.rings 0) in
+  let secondary = Array.init count (fun _ -> Array.make cfg.Ring.rings 0) in
+  Array.iteri
+    (fun s node ->
+      (* Default: every other participant in random order (models an
+         idealized discovery); a [candidates] hook supplies the actual
+         discovered membership instead. *)
+      let candidates =
+        match candidates with
+        | Some f -> f node
+        | None ->
+          let all = Array.copy meridian_nodes in
+          Rng.shuffle rng all;
+          all
+      in
+      Array.iter
+        (fun peer ->
+          if peer <> node && edge_filter node peer then begin
+            let delay = Matrix.get matrix node peer in
+            if not (Float.is_nan delay) then
+              List.iteri
+                (fun pos (ring_idx, represented) ->
+                  let r = ring_idx - 1 in
+                  if r >= 0 && r < cfg.Ring.rings then begin
+                    (* The first ring a member lands in uses a primary
+                       slot; any additional placement (TIV-aware dual
+                       placement) may only consume the ring's secondary
+                       slots, so awareness adds entries without
+                       displacing regular members. *)
+                    if pos = 0 && primary.(s).(r) < cfg.Ring.k then begin
+                      rings.(s).(r) <- { id = peer; delay = represented } :: rings.(s).(r);
+                      primary.(s).(r) <- primary.(s).(r) + 1
+                    end
+                    else if
+                      pos = 0 && selection = Diverse
+                      && secondary.(s).(r) = 0 (* dual entries keep their slots *)
+                    then begin
+                      (* Ring full: replace a member if that increases
+                         the ring's pairwise-delay diversity. *)
+                      match
+                        diversity_swap matrix rings.(s).(r)
+                          { id = peer; delay = represented }
+                      with
+                      | Some swapped -> rings.(s).(r) <- swapped
+                      | None -> ()
+                    end
+                    else if secondary.(s).(r) < cfg.Ring.l then begin
+                      rings.(s).(r) <- { id = peer; delay = represented } :: rings.(s).(r);
+                      secondary.(s).(r) <- secondary.(s).(r) + 1
+                    end
+                  end)
+                (placement node peer delay)
+          end)
+        candidates)
+    meridian_nodes;
+  { config = cfg; meridian_nodes = Array.copy meridian_nodes; meridian_set; rings; slot_of }
+
+let ring_members t node i =
+  assert (i >= 1 && i <= t.config.Ring.rings);
+  t.rings.(slot t node).(i - 1)
+
+let all_entries t node =
+  Array.fold_left (fun acc members -> members @ acc) [] t.rings.(slot t node)
+
+let all_members t node =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun m ->
+      if Hashtbl.mem seen m.id then false
+      else begin
+        Hashtbl.replace seen m.id ();
+        true
+      end)
+    (all_entries t node)
+
+let ring_population t node =
+  Array.map List.length t.rings.(slot t node)
+
+let mean_ring_population t =
+  let count = Array.length t.meridian_nodes in
+  let sums = Array.make t.config.Ring.rings 0. in
+  Array.iter
+    (fun node ->
+      Array.iteri
+        (fun r members ->
+          sums.(r) <- sums.(r) +. float_of_int (List.length members))
+        t.rings.(slot t node))
+    t.meridian_nodes;
+  Array.map (fun s -> s /. float_of_int (max 1 count)) sums

@@ -1,0 +1,259 @@
+module Matrix = Tivaware_delay_space.Matrix
+
+type termination = Threshold | Any_improvement
+
+type outcome = {
+  chosen : int;
+  chosen_delay : float;
+  probes : int;
+  hops : int;
+  restarts : int;
+  path : int list;
+}
+
+type fallback =
+  current:int -> target:int -> measured:float -> Overlay.member list
+
+type probe_state = {
+  matrix : Matrix.t;
+  target : int;
+  probe_cache : (int, float) Hashtbl.t;
+  mutable probes : int;
+  mutable best : int;
+  mutable best_delay : float;
+}
+
+let make_probe_state matrix ~target =
+  {
+    matrix;
+    target;
+    probe_cache = Hashtbl.create 64;
+    probes = 0;
+    best = -1;
+    best_delay = infinity;
+  }
+
+let probe_cached st node = Hashtbl.mem st.probe_cache node
+let probe_count st = st.probes
+let best_seen st = (st.best, st.best_delay)
+
+(* One online probe: node measures its delay to the target.  Cached per
+   query; [nan] marks an unmeasurable pair. *)
+let probe st node =
+  match Hashtbl.find_opt st.probe_cache node with
+  | Some d -> d
+  | None ->
+    let d = Matrix.get st.matrix node st.target in
+    st.probes <- st.probes + 1;
+    Hashtbl.replace st.probe_cache node d;
+    if (not (Float.is_nan d)) && d < st.best_delay then begin
+      st.best <- node;
+      st.best_delay <- d
+    end;
+    d
+
+let eligible_members overlay current d =
+  let beta = (Overlay.config overlay).Ring.beta in
+  let lo = (1. -. beta) *. d and hi = (1. +. beta) *. d in
+  (* Filter ring *entries* so a dual-placed member qualifies when either
+     its measured or its predicted delay falls in the window, then
+     deduplicate member ids. *)
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun m ->
+      m.Overlay.delay >= lo && m.Overlay.delay <= hi
+      &&
+      if Hashtbl.mem seen m.Overlay.id then false
+      else begin
+        Hashtbl.replace seen m.Overlay.id ();
+        true
+      end)
+    (Overlay.all_entries overlay current)
+
+(* Best (member, delay-to-target) among a member list, probing each. *)
+let best_probed st members ~exclude =
+  List.fold_left
+    (fun acc m ->
+      let id = m.Overlay.id in
+      if Hashtbl.mem exclude id then acc
+      else begin
+        let d = probe st id in
+        if Float.is_nan d then acc
+        else begin
+          match acc with
+          | Some (_, bd) when bd <= d -> acc
+          | _ -> Some (id, d)
+        end
+      end)
+    None members
+
+let accepts termination ~beta ~d ~candidate_delay =
+  match termination with
+  | Threshold -> candidate_delay <= beta *. d
+  | Any_improvement -> candidate_delay < d
+
+let closest ?(termination = Threshold) ?fallback overlay matrix ~start ~target =
+  if not (Overlay.is_meridian overlay start) then
+    invalid_arg "Query.closest: start is not a Meridian node";
+  let beta = (Overlay.config overlay).Ring.beta in
+  let st = make_probe_state matrix ~target in
+  st.best <- start;
+  let d0 = probe st start in
+  if Float.is_nan d0 then
+    invalid_arg "Query.closest: no measurement between start and target";
+  let visited = Hashtbl.create 16 in
+  let restarts = ref 0 in
+  let rec loop current d path hops =
+    Hashtbl.replace visited current ();
+    let members = eligible_members overlay current d in
+    let continue_to candidate =
+      match candidate with
+      | None -> None
+      | Some (id, cd) ->
+        if accepts termination ~beta ~d ~candidate_delay:cd then Some (id, cd)
+        else None
+    in
+    let candidate = best_probed st members ~exclude:visited in
+    let next =
+      match continue_to candidate with
+      | Some _ as n -> n
+      | None -> (
+        (* About to stop: give the fallback hook one chance to widen the
+           probed set (TIV-aware query restart). *)
+        match fallback with
+        | None -> None
+        | Some f ->
+          let extra = f ~current ~target ~measured:d in
+          if extra = [] then None
+          else begin
+            incr restarts;
+            let widened = best_probed st extra ~exclude:visited in
+            let merged =
+              match (candidate, widened) with
+              | None, w -> w
+              | c, None -> c
+              | Some (_, cd), Some (_, wd) -> if wd < cd then widened else candidate
+            in
+            continue_to merged
+          end)
+    in
+    match next with
+    | Some (id, cd) -> loop id cd (id :: path) (hops + 1)
+    | None -> (path, hops)
+  in
+  let path, hops = loop start d0 [ start ] 0 in
+  {
+    chosen = st.best;
+    chosen_delay = st.best_delay;
+    probes = st.probes;
+    hops;
+    restarts = !restarts;
+    path = List.rev path;
+  }
+
+(* Max-norm delay of [node] to the target set; [nan] if any measurement
+   is missing. *)
+let max_norm matrix node targets =
+  List.fold_left
+    (fun acc t ->
+      if node = t then acc
+      else begin
+        let d = Matrix.get matrix node t in
+        if Float.is_nan d || Float.is_nan acc then nan else Float.max acc d
+      end)
+    0. targets
+
+let closest_multi ?(termination = Threshold) overlay matrix ~start ~targets =
+  if targets = [] then invalid_arg "Query.closest_multi: no targets";
+  if not (Overlay.is_meridian overlay start) then
+    invalid_arg "Query.closest_multi: start is not a Meridian node";
+  let beta = (Overlay.config overlay).Ring.beta in
+  let probes = ref 0 in
+  let cache = Hashtbl.create 64 in
+  (* One "probe" per (node, target) measurement, cached as in the
+     single-target query. *)
+  let measure node =
+    match Hashtbl.find_opt cache node with
+    | Some d -> d
+    | None ->
+      List.iter (fun t -> if t <> node then incr probes) targets;
+      let d = max_norm matrix node targets in
+      Hashtbl.replace cache node d;
+      d
+  in
+  let d0 = measure start in
+  if Float.is_nan d0 then
+    invalid_arg "Query.closest_multi: start cannot measure every target";
+  let best = ref start and best_delay = ref d0 in
+  let consider node d =
+    if (not (Float.is_nan d)) && d < !best_delay then begin
+      best := node;
+      best_delay := d
+    end
+  in
+  let visited = Hashtbl.create 16 in
+  let rec loop current d path hops =
+    Hashtbl.replace visited current ();
+    let members = eligible_members overlay current d in
+    let candidate =
+      List.fold_left
+        (fun acc m ->
+          let id = m.Overlay.id in
+          if Hashtbl.mem visited id then acc
+          else begin
+            let md = measure id in
+            consider id md;
+            if Float.is_nan md then acc
+            else begin
+              match acc with
+              | Some (_, bd) when bd <= md -> acc
+              | _ -> Some (id, md)
+            end
+          end)
+        None members
+    in
+    match candidate with
+    | Some (id, cd) when accepts termination ~beta ~d ~candidate_delay:cd ->
+      loop id cd (id :: path) (hops + 1)
+    | _ -> (path, hops)
+  in
+  let path, hops = loop start d0 [ start ] 0 in
+  {
+    chosen = !best;
+    chosen_delay = !best_delay;
+    probes = !probes;
+    hops;
+    restarts = 0;
+    path = List.rev path;
+  }
+
+let optimal_multi overlay matrix ~targets =
+  if targets = [] then invalid_arg "Query.optimal_multi: no targets";
+  Array.fold_left
+    (fun acc node ->
+      if List.mem node targets then acc
+      else begin
+        let d = max_norm matrix node targets in
+        if Float.is_nan d then acc
+        else begin
+          match acc with
+          | Some (_, bd) when bd <= d -> acc
+          | _ -> Some (node, d)
+        end
+      end)
+    None (Overlay.meridian_nodes overlay)
+
+let optimal overlay matrix ~target =
+  Array.fold_left
+    (fun acc node ->
+      if node = target then acc
+      else begin
+        let d = Matrix.get matrix node target in
+        if Float.is_nan d then acc
+        else begin
+          match acc with
+          | Some (_, bd) when bd <= d -> acc
+          | _ -> Some (node, d)
+        end
+      end)
+    None (Overlay.meridian_nodes overlay)

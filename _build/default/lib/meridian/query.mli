@@ -1,0 +1,106 @@
+(** Meridian's recursive closest-neighbor query (Section 3.1).
+
+    A client asks a starting Meridian node for the participant closest
+    to a target.  The current node [M] measures its delay [d] to the
+    target, asks every ring member whose delay to [M] lies within
+    [[(1-β)d, (1+β)d]] to probe the target, and forwards the query to
+    the member reporting the smallest delay.  With [Threshold]
+    termination the query stops when no member improves by at least the
+    factor [β]; with [Any_improvement] it continues while any strict
+    improvement exists (the idealized "no termination condition" mode
+    of Section 3.2.2).
+
+    Probes are delay-matrix lookups; each distinct (node, target)
+    measurement within a query is counted once (values are cached, as a
+    real implementation would within one query).  The answer returned
+    to the client is the best node observed among all probed
+    participants, as in the paper's Figure 12 narrative. *)
+
+type termination =
+  | Threshold  (** stop unless the best member is within [beta * d] *)
+  | Any_improvement  (** stop only when nothing strictly improves *)
+
+type outcome = {
+  chosen : int;  (** best Meridian node found for the target *)
+  chosen_delay : float;  (** its measured delay to the target *)
+  probes : int;  (** distinct online probes consumed *)
+  hops : int;  (** query forwarding steps *)
+  restarts : int;  (** fallback activations (TIV-aware mode) *)
+  path : int list;  (** visited Meridian nodes, start first *)
+}
+
+type fallback =
+  current:int -> target:int -> measured:float -> Overlay.member list
+(** Invoked when the termination rule is about to stop the query at
+    [current]; returns extra members to probe before the rule is
+    re-evaluated once.  Used by {!Tiv_aware}. *)
+
+val closest :
+  ?termination:termination ->
+  ?fallback:fallback ->
+  Overlay.t ->
+  Tivaware_delay_space.Matrix.t ->
+  start:int ->
+  target:int ->
+  outcome
+(** [closest overlay matrix ~start ~target].  [start] must be a Meridian
+    node and [target] must have a measured delay to it; otherwise
+    [Invalid_argument].  Default termination is [Threshold] with the
+    overlay's [beta]. *)
+
+val optimal :
+  Overlay.t -> Tivaware_delay_space.Matrix.t -> target:int -> (int * float) option
+(** Ground truth: the Meridian node with the smallest measured delay to
+    the target ([None] if the target has no measured Meridian edge). *)
+
+(** {2 Multi-target queries}
+
+    The original Meridian system also solves {e central leader
+    election}: find the participant minimizing the {e maximum} delay to
+    a set of targets.  The recursion is the same with the max-norm in
+    place of the single delay; TIVs disturb it the same way. *)
+
+val closest_multi :
+  ?termination:termination ->
+  Overlay.t ->
+  Tivaware_delay_space.Matrix.t ->
+  start:int ->
+  targets:int list ->
+  outcome
+(** [closest_multi overlay m ~start ~targets]: [chosen_delay] is the
+    max-norm delay of the chosen node to the target set.  A node with a
+    missing measurement to any target is skipped as a candidate.
+    Raises [Invalid_argument] on an empty target list, a non-Meridian
+    start, or when [start] cannot measure every target. *)
+
+val optimal_multi :
+  Overlay.t -> Tivaware_delay_space.Matrix.t -> targets:int list -> (int * float) option
+(** Brute-force best max-norm participant. *)
+
+(** {2 Protocol building blocks}
+
+    Shared with {!Online}, which replays the same protocol over the
+    event simulator.  Not intended for general use. *)
+
+type probe_state
+
+val make_probe_state : Tivaware_delay_space.Matrix.t -> target:int -> probe_state
+
+val probe : probe_state -> int -> float
+(** One online probe from a node to the target: counted once per query,
+    cached, tracks the best node seen.  [nan] = unmeasurable. *)
+
+val probe_cached : probe_state -> int -> bool
+(** Whether a probe result is already cached (a cached probe costs no
+    simulated time). *)
+
+val probe_count : probe_state -> int
+val best_seen : probe_state -> int * float
+
+val eligible_members : Overlay.t -> int -> float -> Overlay.member list
+(** Ring members of a node whose delay lies within the acceptance
+    window [[(1-beta) d, (1+beta) d]]. *)
+
+val accepts : termination -> beta:float -> d:float -> candidate_delay:float -> bool
+(** The forwarding rule: whether a candidate at [candidate_delay] from
+    the target justifies continuing from a node at distance [d]. *)

@@ -1,0 +1,1 @@
+lib/overlay/multicast.ml: Array Float List Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/overlay/multicast.mli: Tivaware_delay_space Tivaware_util

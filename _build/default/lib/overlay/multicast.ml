@@ -1,0 +1,214 @@
+module Rng = Tivaware_util.Rng
+module Stats = Tivaware_util.Stats
+module Matrix = Tivaware_delay_space.Matrix
+
+type config = {
+  max_degree : int;
+  refresh_sample : int;
+}
+
+let default_config = { max_degree = 6; refresh_sample = 16 }
+
+type t = {
+  config : config;
+  root : int;
+  parent : int array;  (* -1 = root or not joined *)
+  joined : bool array;
+  degree : int array;  (* children count *)
+}
+
+let root t = t.root
+
+let parent t node =
+  if t.joined.(node) && node <> t.root then Some t.parent.(node) else None
+
+let members t =
+  let out = ref [] in
+  Array.iteri (fun node j -> if j then out := node :: !out) t.joined;
+  List.rev !out
+
+let children_count t node = t.degree.(node)
+
+(* Predicted-nearest joined member with spare degree among candidates. *)
+let best_attachment t m ~predict node candidates =
+  List.fold_left
+    (fun acc cand ->
+      if
+        cand <> node && t.joined.(cand)
+        && t.degree.(cand) < t.config.max_degree
+        && Matrix.known m node cand
+      then begin
+        let p = predict node cand in
+        if Float.is_nan p then acc
+        else begin
+          match acc with
+          | Some (_, bp) when bp <= p -> acc
+          | _ -> Some (cand, p)
+        end
+      end
+      else acc)
+    None candidates
+
+let build ?(config = default_config) m ~join_order ~predict =
+  let n = Matrix.size m in
+  assert (Array.length join_order > 0);
+  let t =
+    {
+      config;
+      root = join_order.(0);
+      parent = Array.make n (-1);
+      joined = Array.make n false;
+      degree = Array.make n 0;
+    }
+  in
+  t.joined.(t.root) <- true;
+  let member_list = ref [ t.root ] in
+  Array.iteri
+    (fun idx node ->
+      if idx > 0 then begin
+        match best_attachment t m ~predict node !member_list with
+        | Some (chosen, _) ->
+          t.parent.(node) <- chosen;
+          t.joined.(node) <- true;
+          t.degree.(chosen) <- t.degree.(chosen) + 1;
+          member_list := node :: !member_list
+        | None -> ()
+      end)
+    join_order;
+  t
+
+(* Is [candidate] in the subtree rooted at [node]?  Switching to a
+   descendant would create a cycle. *)
+let in_subtree t node candidate =
+  let rec ascend cur steps =
+    if steps < 0 then false (* defensive: corrupted tree *)
+    else if cur = node then true
+    else if cur = t.root || cur < 0 then false
+    else ascend t.parent.(cur) (steps - 1)
+  in
+  ascend candidate (Array.length t.parent)
+
+(* Predicted delay from every member to the root along the current tree
+   edges: the quantity a member advertises to prospective children. *)
+let predicted_root_delays t ~predict =
+  let n = Array.length t.parent in
+  let out = Array.make n nan in
+  out.(t.root) <- 0.;
+  let rec resolve node =
+    if not (Float.is_nan out.(node)) then out.(node)
+    else begin
+      let p = t.parent.(node) in
+      let d = resolve p +. predict node p in
+      out.(node) <- d;
+      d
+    end
+  in
+  List.iter (fun node -> ignore (resolve node)) (members t);
+  out
+
+let refresh t rng m ~predict =
+  let all_members = Array.of_list (members t) in
+  let order = Array.copy all_members in
+  Rng.shuffle rng order;
+  let switches = ref 0 in
+  (* Root delays are recomputed once per pass; switches within the pass
+     use slightly stale values, as a real periodically-advertised
+     protocol would. *)
+  let root_delay = predicted_root_delays t ~predict in
+  let via candidate p = root_delay.(candidate) +. p in
+  Array.iter
+    (fun node ->
+      if node <> t.root && t.joined.(node) then begin
+        let current = t.parent.(node) in
+        let current_cost = via current (predict node current) in
+        (* Sample refresh candidates from the membership; optimize the
+           predicted end-to-end delay from the root, not just the parent
+           edge, so refreshes cannot degenerate into long chains. *)
+        let sample =
+          List.init t.config.refresh_sample (fun _ -> Rng.choice rng all_members)
+        in
+        let eligible =
+          List.filter (fun c -> not (in_subtree t node c)) sample
+        in
+        let best =
+          List.fold_left
+            (fun acc cand ->
+              if
+                cand <> node && cand <> current && t.joined.(cand)
+                && t.degree.(cand) < t.config.max_degree
+                && Matrix.known m node cand
+              then begin
+                let p = predict node cand in
+                if Float.is_nan p || Float.is_nan root_delay.(cand) then acc
+                else begin
+                  let cost = via cand p in
+                  match acc with
+                  | Some (_, bc) when bc <= cost -> acc
+                  | _ -> Some (cand, cost)
+                end
+              end
+              else acc)
+            None eligible
+        in
+        match best with
+        | Some (better, cost) when Float.is_nan current_cost || cost < current_cost ->
+          t.degree.(current) <- t.degree.(current) - 1;
+          t.parent.(node) <- better;
+          t.degree.(better) <- t.degree.(better) + 1;
+          incr switches
+        | _ -> ()
+      end)
+    order;
+  !switches
+
+type metrics = {
+  members : int;
+  mean_edge_ms : float;
+  median_stretch : float;
+  p90_stretch : float;
+  max_depth : int;
+  max_fanout : int;
+}
+
+let evaluate t m =
+  let n = Array.length t.parent in
+  (* Root-to-node tree delay and depth by memoized ascent. *)
+  let tree_delay = Array.make n nan in
+  let depth = Array.make n (-1) in
+  tree_delay.(t.root) <- 0.;
+  depth.(t.root) <- 0;
+  let rec resolve node =
+    if depth.(node) >= 0 then (tree_delay.(node), depth.(node))
+    else begin
+      let p = t.parent.(node) in
+      let pd, pdepth = resolve p in
+      let edge = Matrix.get m node p in
+      let d = pd +. (if Float.is_nan edge then 0. else edge) in
+      tree_delay.(node) <- d;
+      depth.(node) <- pdepth + 1;
+      (d, pdepth + 1)
+    end
+  in
+  let edges = ref [] and stretches = ref [] and max_depth = ref 0 in
+  List.iter
+    (fun node ->
+      if node <> t.root then begin
+        let _, d = resolve node in
+        if d > !max_depth then max_depth := d;
+        let edge = Matrix.get m node t.parent.(node) in
+        if not (Float.is_nan edge) then edges := edge :: !edges;
+        let direct = Matrix.get m node t.root in
+        if (not (Float.is_nan direct)) && direct > 0. then
+          stretches := (tree_delay.(node) /. direct) :: !stretches
+      end)
+    (members t);
+  let edges = Array.of_list !edges and stretches = Array.of_list !stretches in
+  {
+    members = List.length (members t);
+    mean_edge_ms = Stats.mean edges;
+    median_stretch = (if Array.length stretches = 0 then 0. else Stats.median stretches);
+    p90_stretch =
+      (if Array.length stretches = 0 then 0. else Stats.percentile stretches 90.);
+    max_depth = !max_depth;
+    max_fanout = Array.fold_left max 0 t.degree;
+  }

@@ -1,0 +1,74 @@
+(** Tree-based overlay multicast — the paper's opening example of a
+    system that lives or dies by neighbor selection.
+
+    A group grows by sequential joins: each joining node asks a neighbor
+    selection mechanism for the nearest existing member and attaches to
+    it, subject to a per-node degree cap (as real systems impose on
+    fan-out).  The resulting tree is judged by:
+
+    - {e edge cost}: the delay of each parent link;
+    - {e stretch}: each member's root-to-member delay along the tree,
+      divided by its direct unicast delay to the root (RMD / unicast);
+    - {e fan-out} distribution.
+
+    The module also implements a {e parent-refresh} pass in the spirit
+    of the paper's dynamic-neighbor Vivaldi: periodically each node
+    re-evaluates a sample of members under the current predictor and
+    switches to a better parent if one exists (cycle-safe). *)
+
+type config = {
+  max_degree : int;  (** children cap per node (default 6) *)
+  refresh_sample : int;  (** candidate members sampled per refresh (default 16) *)
+}
+
+val default_config : config
+
+type t
+
+val root : t -> int
+val parent : t -> int -> int option
+(** [None] for the root and for nodes that failed to join. *)
+
+val members : t -> int list
+(** Joined nodes, root included. *)
+
+val children_count : t -> int -> int
+
+val build :
+  ?config:config ->
+  Tivaware_delay_space.Matrix.t ->
+  join_order:int array ->
+  predict:(int -> int -> float) ->
+  t
+(** [build m ~join_order ~predict] grows the tree: [join_order.(0)]
+    is the root; every other node attaches to the predicted-nearest
+    member with spare degree.  Nodes with no measurable candidate are
+    left out (reported by {!members}). *)
+
+val refresh :
+  t ->
+  Tivaware_util.Rng.t ->
+  Tivaware_delay_space.Matrix.t ->
+  predict:(int -> int -> float) ->
+  int
+(** One refresh pass over all non-root members in random order: sample
+    candidates and switch parents when a member offers a strictly
+    smaller {e predicted root delay} (its tree delay to the root plus
+    the predicted edge to it) and has spare degree.  Descendants are
+    excluded to keep the tree acyclic.  Optimizing end-to-end delay
+    rather than the parent edge alone prevents refresh from collapsing
+    the tree into long low-latency chains.  Returns the number of
+    parent switches. *)
+
+type metrics = {
+  members : int;
+  mean_edge_ms : float;
+  median_stretch : float;
+  p90_stretch : float;
+  max_depth : int;
+  max_fanout : int;
+}
+
+val evaluate : t -> Tivaware_delay_space.Matrix.t -> metrics
+(** Tree quality under {e measured} delays.  Stretch is computed for
+    members with a measured direct delay to the root. *)

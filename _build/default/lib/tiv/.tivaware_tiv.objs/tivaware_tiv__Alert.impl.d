@@ -1,0 +1,1 @@
+lib/tiv/alert.ml: Array List Tivaware_delay_space

@@ -1,0 +1,1 @@
+lib/tiv/alert.mli: Tivaware_delay_space

@@ -1,0 +1,1 @@
+lib/tiv/cluster_analysis.ml: Array Float Format List Severity Tivaware_delay_space Tivaware_util

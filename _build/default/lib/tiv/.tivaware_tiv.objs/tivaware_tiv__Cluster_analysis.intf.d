@@ -1,0 +1,1 @@
+lib/tiv/cluster_analysis.mli: Format Tivaware_delay_space

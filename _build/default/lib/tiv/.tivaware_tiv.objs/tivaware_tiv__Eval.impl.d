@@ -1,0 +1,1 @@
+lib/tiv/eval.ml: Alert Array Hashtbl List Severity Tivaware_delay_space

@@ -1,0 +1,1 @@
+lib/tiv/eval.mli: Tivaware_delay_space

@@ -1,0 +1,1 @@
+lib/tiv/proximity.ml: Array Fun Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/tiv/severity.ml: Array Float List Tivaware_delay_space

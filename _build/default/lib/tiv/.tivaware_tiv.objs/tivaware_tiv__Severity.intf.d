@@ -1,0 +1,1 @@
+lib/tiv/severity.mli: Tivaware_delay_space

@@ -1,0 +1,1 @@
+lib/tiv/triangle.ml: Array Float Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/tiv/triangle.mli: Tivaware_delay_space Tivaware_util

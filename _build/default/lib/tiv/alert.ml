@@ -1,0 +1,22 @@
+module Matrix = Tivaware_delay_space.Matrix
+
+let ratio_matrix ~measured ~predicted =
+  Matrix.map
+    (fun i j d -> if d < 1e-9 then nan else predicted i j /. d)
+    measured
+
+let ratio_severity_pairs ~ratios ~severity =
+  let out = ref [] in
+  Matrix.iter_edges ratios (fun i j r ->
+      if Matrix.known severity i j then
+        out := (r, Matrix.get severity i j) :: !out);
+  Array.of_list (List.rev !out)
+
+let alerted ~ratios ~threshold =
+  let out = ref [] in
+  Matrix.iter_edges ratios (fun i j r ->
+      if r <= threshold then out := (i, j) :: !out);
+  Array.of_list (List.rev !out)
+
+let is_alert ~ratios ~threshold i j =
+  Matrix.known ratios i j && Matrix.get ratios i j <= threshold

@@ -1,0 +1,36 @@
+module Matrix = Tivaware_delay_space.Matrix
+
+type point = {
+  threshold : float;
+  alerts : int;
+  accuracy : float;
+  recall : float;
+}
+
+let default_thresholds = List.init 10 (fun i -> 0.1 *. float_of_int (i + 1))
+
+let evaluate ~ratios ~severity ~worst_fraction ~thresholds =
+  let worst = Severity.worst_edges severity ~fraction:worst_fraction in
+  let worst_set = Hashtbl.create (Array.length worst) in
+  Array.iter (fun (i, j) -> Hashtbl.replace worst_set (i, j) ()) worst;
+  let worst_count = Array.length worst in
+  List.map
+    (fun threshold ->
+      let alerts = Alert.alerted ~ratios ~threshold in
+      let hits =
+        Array.fold_left
+          (fun acc e -> if Hashtbl.mem worst_set e then acc + 1 else acc)
+          0 alerts
+      in
+      let n_alerts = Array.length alerts in
+      {
+        threshold;
+        alerts = n_alerts;
+        accuracy =
+          (if n_alerts = 0 then 1.
+           else float_of_int hits /. float_of_int n_alerts);
+        recall =
+          (if worst_count = 0 then 1.
+           else float_of_int hits /. float_of_int worst_count);
+      })
+    thresholds

@@ -1,0 +1,25 @@
+(** Accuracy/recall evaluation of the TIV alert mechanism
+    (Figures 20 and 21).
+
+    Ground truth is the set of the worst [q] fraction of edges by TIV
+    severity; the alert set is every edge whose prediction ratio falls
+    at or below a threshold.  Accuracy is the fraction of alerted edges
+    that are truly in the worst set; recall is the fraction of the worst
+    set that gets alerted. *)
+
+type point = {
+  threshold : float;
+  alerts : int;  (** size of the alert set *)
+  accuracy : float;  (** 1.0 when no alert is raised (vacuous) *)
+  recall : float;
+}
+
+val evaluate :
+  ratios:Tivaware_delay_space.Matrix.t ->
+  severity:Tivaware_delay_space.Matrix.t ->
+  worst_fraction:float ->
+  thresholds:float list ->
+  point list
+
+val default_thresholds : float list
+(** 0.1, 0.2, ..., 1.0 as swept in the paper's figures. *)

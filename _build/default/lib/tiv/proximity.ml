@@ -1,0 +1,52 @@
+module Rng = Tivaware_util.Rng
+module Matrix = Tivaware_delay_space.Matrix
+module Stats = Tivaware_util.Stats
+
+type result = {
+  nearest_pair_diffs : float array;
+  random_pair_diffs : float array;
+}
+
+let analyze rng delays ~severity ~samples =
+  let n = Matrix.size delays in
+  let nearest = Array.init n (fun i -> Matrix.nearest_neighbor delays i) in
+  let edges = Matrix.edges severity in
+  let total = Array.length edges in
+  if total = 0 then invalid_arg "Proximity.analyze: no edges";
+  let picks =
+    if samples >= total then Array.init total Fun.id
+    else Rng.sample_indices rng ~n:total ~k:samples
+  in
+  let nearest_diffs = ref [] and random_diffs = ref [] in
+  Array.iter
+    (fun idx ->
+      let a, b, sev = edges.(idx) in
+      (match (nearest.(a), nearest.(b)) with
+      | Some (an, _), Some (bn, _) when an <> bn && Matrix.known severity an bn ->
+        let sev_near = Matrix.get severity an bn in
+        nearest_diffs := abs_float (sev -. sev_near) :: !nearest_diffs
+      | _ -> ());
+      (* Random-pair edge: uniform among present edges, rejecting the
+         edge itself. *)
+      let rec random_edge tries =
+        if tries = 0 then None
+        else begin
+          let r = Rng.int rng total in
+          if r = idx then random_edge (tries - 1)
+          else begin
+            let _, _, s = edges.(r) in
+            Some s
+          end
+        end
+      in
+      match random_edge 10 with
+      | Some s -> random_diffs := abs_float (sev -. s) :: !random_diffs
+      | None -> ())
+    picks;
+  {
+    nearest_pair_diffs = Array.of_list !nearest_diffs;
+    random_pair_diffs = Array.of_list !random_diffs;
+  }
+
+let similarity_gap r =
+  Stats.mean r.random_pair_diffs -. Stats.mean r.nearest_pair_diffs

@@ -1,0 +1,28 @@
+(** Proximity (non-)predictability of TIV severity (Figure 9).
+
+    Tests the hypothesis that nearby edges have similar TIV severity:
+    for each sampled edge [AB], its {e nearest-pair edge} is [AnBn]
+    where [An]/[Bn] are the delay-nearest neighbors of [A]/[B]; a
+    {e random-pair edge} is drawn uniformly.  The paper finds the two
+    severity-difference distributions nearly coincide, i.e. proximity
+    does not predict severity. *)
+
+type result = {
+  nearest_pair_diffs : float array;
+  random_pair_diffs : float array;
+}
+
+val analyze :
+  Tivaware_util.Rng.t ->
+  Tivaware_delay_space.Matrix.t ->
+  severity:Tivaware_delay_space.Matrix.t ->
+  samples:int ->
+  result
+(** [analyze rng delays ~severity ~samples] draws [samples] edges (or
+    every edge when fewer exist) and computes both difference arrays.
+    Edges whose nearest-pair edge is missing from the matrix are
+    skipped. *)
+
+val similarity_gap : result -> float
+(** Mean(random diffs) - mean(nearest diffs): how much more similar
+    nearest pairs are.  The paper's point is that this gap is small. *)

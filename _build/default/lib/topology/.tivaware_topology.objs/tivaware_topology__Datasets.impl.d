@@ -1,0 +1,1 @@
+lib/topology/datasets.ml: Generator List Printf Tivaware_util

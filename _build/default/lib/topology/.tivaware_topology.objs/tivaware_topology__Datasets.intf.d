@@ -1,0 +1,1 @@
+lib/topology/datasets.mli: Generator

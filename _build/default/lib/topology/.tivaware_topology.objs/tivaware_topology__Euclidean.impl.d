@@ -1,0 +1,1 @@
+lib/topology/euclidean.ml: Array Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/topology/euclidean.mli: Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/topology/generator.ml: Array Float Fun List Router_graph Tivaware_delay_space Tivaware_util

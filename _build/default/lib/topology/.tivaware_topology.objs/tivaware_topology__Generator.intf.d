@@ -1,0 +1,1 @@
+lib/topology/generator.mli: Tivaware_delay_space Tivaware_util

@@ -1,0 +1,1 @@
+lib/topology/router_graph.ml: Array List Tivaware_util

@@ -1,0 +1,1 @@
+lib/topology/router_graph.mli: Tivaware_util

@@ -1,0 +1,1 @@
+lib/topology/synthesizer.ml: Array Fun Printf Tivaware_delay_space Tivaware_util

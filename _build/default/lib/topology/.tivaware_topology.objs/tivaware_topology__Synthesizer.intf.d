@@ -1,0 +1,1 @@
+lib/topology/synthesizer.mli: Tivaware_delay_space Tivaware_util

@@ -1,0 +1,79 @@
+module Rng = Tivaware_util.Rng
+
+type preset = Ds2 | Meridian | P2psim | Planetlab
+
+let all = [ Ds2; Meridian; P2psim; Planetlab ]
+
+let default_size = function
+  | Ds2 -> 560
+  | Meridian -> 350
+  | P2psim -> 245
+  | Planetlab -> 229
+
+let base_name = function
+  | Ds2 -> "DS2"
+  | Meridian -> "Meridian"
+  | P2psim -> "p2psim"
+  | Planetlab -> "PlanetLab"
+
+let scale_cluster spec routers =
+  { spec with Generator.routers }
+
+let params ?size preset =
+  let nodes = match size with Some s -> s | None -> default_size preset in
+  let d = Generator.default in
+  let p =
+    match preset with
+    | Ds2 -> { d with Generator.nodes }
+    | Meridian ->
+      {
+        d with
+        Generator.nodes;
+        inflate_prob_intra = 0.12;
+        inflate_prob_inter = 0.30;
+        inflation_shape = 1.0;
+        inflation_scale = 0.5;
+        inflation_max = 25.;
+        noise_fraction = 0.06;
+      }
+    | P2psim ->
+      {
+        d with
+        Generator.nodes;
+        inflate_prob_intra = 0.04;
+        inflate_prob_inter = 0.10;
+        inflation_shape = 2.2;
+        inflation_scale = 0.2;
+        inflation_max = 4.;
+        noise_fraction = 0.04;
+      }
+    | Planetlab ->
+      {
+        d with
+        Generator.nodes;
+        clusters =
+          List.map (fun c -> scale_cluster c 6) d.Generator.clusters;
+        inflate_prob_intra = 0.10;
+        inflate_prob_inter = 0.20;
+        inflation_shape = 1.2;
+        inflation_scale = 0.4;
+        inflation_max = 16.;
+        noise_fraction = 0.03;
+        missing_fraction = 0.02;
+      }
+  in
+  p
+
+let name ?size preset =
+  let n = match size with Some s -> s | None -> default_size preset in
+  Printf.sprintf "%s-%d-data" (base_name preset) n
+
+let generate ?size ~seed preset =
+  let p = params ?size preset in
+  (* Distinct sub-seed per preset so the four spaces are independent even
+     under a shared master seed. *)
+  let sub =
+    match preset with Ds2 -> 1 | Meridian -> 2 | P2psim -> 3 | Planetlab -> 4
+  in
+  let rng = Rng.create ((seed * 1000003) + sub) in
+  Generator.generate rng p

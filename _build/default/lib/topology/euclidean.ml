@@ -1,0 +1,24 @@
+module Rng = Tivaware_util.Rng
+module Vec = Tivaware_util.Vec
+module Matrix = Tivaware_delay_space.Matrix
+
+let of_points points =
+  let n = Array.length points in
+  Matrix.init n (fun i j -> Vec.dist points.(i) points.(j))
+
+let uniform_box rng ~n ~dim ~side_ms =
+  assert (n > 0 && dim > 0 && side_ms > 0.);
+  let points =
+    Array.init n (fun _ -> Array.init dim (fun _ -> Rng.float rng side_ms))
+  in
+  of_points points
+
+let clustered rng ~n ~centers =
+  assert (n > 0 && centers <> []);
+  let centers = Array.of_list centers in
+  let points =
+    Array.init n (fun _ ->
+        let center, stddev = Rng.choice rng centers in
+        Array.map (fun c -> Rng.gauss rng ~mean:c ~stddev) center)
+  in
+  of_points points

@@ -1,0 +1,19 @@
+(** TIV-free control delay spaces.
+
+    Section 3.2.2 of the paper uses an "artificial Euclidean matrix" to
+    show that Meridian is near-perfect when the triangle inequality
+    holds.  These generators produce delay matrices that satisfy the
+    triangle inequality exactly (up to floating-point noise). *)
+
+val uniform_box :
+  Tivaware_util.Rng.t -> n:int -> dim:int -> side_ms:float ->
+  Tivaware_delay_space.Matrix.t
+(** [n] points uniform in a [dim]-dimensional cube of side [side_ms];
+    delays are pairwise Euclidean distances. *)
+
+val clustered :
+  Tivaware_util.Rng.t -> n:int -> centers:(float array * float) list ->
+  Tivaware_delay_space.Matrix.t
+(** Gaussian blobs: each node picks a random [(center, stddev)] and is
+    placed with isotropic Gaussian spread.  Mimics the clustered look of
+    Internet delay spaces while remaining metric. *)

@@ -1,0 +1,56 @@
+(** Delay-space synthesis from a measured matrix, after Zhang et al.'s
+    DS² framework (IMC 2006) — the tool that produced the paper's
+    4000-node data set from smaller measurements.
+
+    {!analyze} builds a statistical model of an input delay space:
+    its major-cluster structure and, for every cluster-pair bucket
+    (including the noise pseudo-cluster), the empirical distribution of
+    measured delays plus the fraction of missing measurements.
+    {!synthesize} then emits a delay matrix of {e any} size whose nodes
+    follow the same cluster proportions and whose delays are drawn from
+    the matching bucket distributions (with small smoothing jitter).
+
+    Because inflated (TIV-causing) delays are part of the empirical
+    bucket distributions, the synthesized space reproduces the source's
+    delay and TIV-severity profiles at the distribution level.  What it
+    does {e not} preserve is per-edge correlation structure — e.g. that
+    one specific node pair's inflation is consistent with a particular
+    routing detour — which is the same simplification DS² itself makes
+    and documents. *)
+
+type model
+
+val analyze :
+  ?clusters:int -> ?radius_ms:float -> Tivaware_delay_space.Matrix.t -> model
+(** Builds the model ({!Tivaware_delay_space.Clustering} with [clusters]
+    major clusters, default 3, radius default 50 ms).  Raises
+    [Invalid_argument] if some cluster-pair bucket has no measured edge
+    (degenerate inputs). *)
+
+val source_size : model -> int
+
+val cluster_fractions : model -> float array
+(** Node share of each major cluster; the last entry is the noise
+    share.  Sums to 1. *)
+
+val missing_fraction : model -> float
+
+val synthesize :
+  ?jitter:float ->
+  Tivaware_util.Rng.t ->
+  model ->
+  size:int ->
+  Tivaware_delay_space.Matrix.t
+(** [synthesize rng model ~size] draws a [size]-node delay space from
+    the model.  Each delay is an empirical bucket sample scaled by a
+    uniform factor in [1 ± jitter] (default 0.05); entries go missing
+    at the source's missing rate. *)
+
+val synthesize_with_clusters :
+  ?jitter:float ->
+  Tivaware_util.Rng.t ->
+  model ->
+  size:int ->
+  Tivaware_delay_space.Matrix.t * int array
+(** As {!synthesize}, also returning the synthetic cluster label of
+    each node ([-1] = noise). *)

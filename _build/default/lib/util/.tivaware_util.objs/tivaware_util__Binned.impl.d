@@ -1,0 +1,1 @@
+lib/util/binned.ml: Array Format Hashtbl List Seq Stats

@@ -1,0 +1,1 @@
+lib/util/binned.mli: Format Seq

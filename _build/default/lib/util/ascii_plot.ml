@@ -1,0 +1,37 @@
+let plot ?(width = 64) ?(height = 16) ?(x_label = "x") ?(y_label = "y") series =
+  let points = List.concat_map snd series in
+  match points with
+  | [] -> "(empty plot)\n"
+  | (x0, y0) :: _ ->
+    let fold f init = List.fold_left (fun acc (x, y) -> f acc x y) init points in
+    let x_min = fold (fun acc x _ -> Float.min acc x) x0 in
+    let x_max = fold (fun acc x _ -> Float.max acc x) x0 in
+    let y_min = fold (fun acc _ y -> Float.min acc y) y0 in
+    let y_max = fold (fun acc _ y -> Float.max acc y) y0 in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > y_min then y_max -. y_min else 1. in
+    let canvas = Array.make_matrix height width ' ' in
+    let place marker (x, y) =
+      let col =
+        int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+      in
+      let row =
+        height - 1
+        - int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1))
+      in
+      if row >= 0 && row < height && col >= 0 && col < width then
+        canvas.(row).(col) <- marker
+    in
+    List.iter (fun (marker, pts) -> List.iter (place marker) pts) series;
+    let buf = Buffer.create (height * (width + 8)) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s: [%.3g, %.3g]  %s: [%.3g, %.3g]\n" x_label x_min x_max
+         y_label y_min y_max);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      canvas;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Minimal ASCII scatter/line plots.
+
+    Not a plotting library — just enough to eyeball a CDF or a trend in
+    terminal output next to the numeric tables. *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (char * (float * float) list) list ->
+  string
+(** [plot series] renders each named series (marker character, points) on
+    a shared canvas with auto-scaled axes.  Later series overwrite
+    earlier ones where they collide.  Returns the rendered block. *)

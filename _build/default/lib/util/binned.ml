@@ -1,0 +1,51 @@
+type row = {
+  x_lo : float;
+  x_mid : float;
+  count : int;
+  p10 : float;
+  p50 : float;
+  p90 : float;
+  mean : float;
+}
+
+type t = row list
+
+let make ~width ?x_max obs =
+  assert (width > 0.);
+  let bins : (int, float list ref) Hashtbl.t = Hashtbl.create 64 in
+  let keep x =
+    x >= 0. && match x_max with None -> true | Some m -> x < m
+  in
+  Seq.iter
+    (fun (x, y) ->
+      if keep x then begin
+        let k = int_of_float (x /. width) in
+        match Hashtbl.find_opt bins k with
+        | Some l -> l := y :: !l
+        | None -> Hashtbl.add bins k (ref [ y ])
+      end)
+    obs;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) bins [] in
+  let keys = List.sort compare keys in
+  let summarize_bin k =
+    let ys = Array.of_list !(Hashtbl.find bins k) in
+    let sorted = Stats.sorted_copy ys in
+    {
+      x_lo = float_of_int k *. width;
+      x_mid = (float_of_int k +. 0.5) *. width;
+      count = Array.length ys;
+      p10 = Stats.percentile_sorted sorted 10.;
+      p50 = Stats.percentile_sorted sorted 50.;
+      p90 = Stats.percentile_sorted sorted 90.;
+      mean = Stats.mean ys;
+    }
+  in
+  List.map summarize_bin keys
+
+let pp ppf t =
+  Format.fprintf ppf "%10s %8s %12s %12s %12s@." "x_mid" "count" "p10" "p50" "p90";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%10.1f %8d %12.4f %12.4f %12.4f@." r.x_mid r.count
+        r.p10 r.p50 r.p90)
+    t

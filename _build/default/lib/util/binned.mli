@@ -1,0 +1,26 @@
+(** Fixed-width binning of (x, y) observations.
+
+    Several of the paper's figures (4–8, 11, 19) are error-bar plots:
+    x-values are grouped into fixed-width bins and the 10th, 50th and
+    90th percentile of the y-values in each bin are plotted.  This module
+    produces exactly that series. *)
+
+type row = {
+  x_lo : float;  (** inclusive lower edge of the bin *)
+  x_mid : float; (** bin center, the plotted x *)
+  count : int;
+  p10 : float;
+  p50 : float;
+  p90 : float;
+  mean : float;
+}
+
+type t = row list
+
+val make : width:float -> ?x_max:float -> (float * float) Seq.t -> t
+(** [make ~width obs] groups observations by [floor (x /. width)] and
+    summarizes each non-empty bin, in increasing x order.  Observations
+    with [x < 0.] or, when [x_max] is given, [x >= x_max], are dropped. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned rows: x_mid count p10 p50 p90. *)

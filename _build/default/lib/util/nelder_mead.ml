@@ -1,0 +1,102 @@
+type options = {
+  max_iterations : int;
+  tolerance : float;
+  initial_step : float;
+}
+
+let default_options = { max_iterations = 500; tolerance = 1e-8; initial_step = 1. }
+
+(* Standard coefficients: reflection 1, expansion 2, contraction 0.5,
+   shrink 0.5. *)
+let alpha = 1.0
+let gamma = 2.0
+let rho = 0.5
+let sigma = 0.5
+
+let minimize ?(options = default_options) ~f x0 =
+  let n = Array.length x0 in
+  assert (n > 0);
+  (* Initial simplex: x0 plus one vertex per dimension offset by the
+     initial step. *)
+  let simplex =
+    Array.init (n + 1) (fun k ->
+        let v = Array.copy x0 in
+        if k > 0 then v.(k - 1) <- v.(k - 1) +. options.initial_step;
+        v)
+  in
+  let values = Array.map f simplex in
+  let order () =
+    let idx = Array.init (n + 1) Fun.id in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    idx
+  in
+  let centroid excluding =
+    let c = Array.make n 0. in
+    Array.iteri
+      (fun k v ->
+        if k <> excluding then
+          for d = 0 to n - 1 do
+            c.(d) <- c.(d) +. v.(d)
+          done)
+      simplex;
+    Array.map (fun x -> x /. float_of_int n) c
+  in
+  let combine a wa b wb = Array.init n (fun d -> (wa *. a.(d)) +. (wb *. b.(d))) in
+  let iter = ref 0 in
+  let spread idx =
+    values.(idx.(n)) -. values.(idx.(0))
+  in
+  let continue_ = ref true in
+  while !continue_ && !iter < options.max_iterations do
+    incr iter;
+    let idx = order () in
+    if abs_float (spread idx) <= options.tolerance then continue_ := false
+    else begin
+      let best = idx.(0) and worst = idx.(n) and second_worst = idx.(n - 1) in
+      let c = centroid worst in
+      (* Reflection. *)
+      let xr = combine c (1. +. alpha) simplex.(worst) (-.alpha) in
+      let fr = f xr in
+      if fr < values.(best) then begin
+        (* Expansion. *)
+        let xe = combine c (1. +. gamma) simplex.(worst) (-.gamma) in
+        let fe = f xe in
+        if fe < fr then begin
+          simplex.(worst) <- xe;
+          values.(worst) <- fe
+        end
+        else begin
+          simplex.(worst) <- xr;
+          values.(worst) <- fr
+        end
+      end
+      else if fr < values.(second_worst) then begin
+        simplex.(worst) <- xr;
+        values.(worst) <- fr
+      end
+      else begin
+        (* Contraction (outside if the reflected point improved on the
+           worst, inside otherwise). *)
+        let base = if fr < values.(worst) then xr else simplex.(worst) in
+        let xc = combine c (1. -. rho) base rho in
+        let fc = f xc in
+        if fc < Float.min fr values.(worst) then begin
+          simplex.(worst) <- xc;
+          values.(worst) <- fc
+        end
+        else begin
+          (* Shrink toward the best vertex. *)
+          let b = simplex.(best) in
+          Array.iteri
+            (fun k v ->
+              if k <> best then begin
+                simplex.(k) <- combine b (1. -. sigma) v sigma;
+                values.(k) <- f simplex.(k)
+              end)
+            (Array.copy simplex)
+        end
+      end
+    end
+  done;
+  let idx = order () in
+  (Array.copy simplex.(idx.(0)), values.(idx.(0)))

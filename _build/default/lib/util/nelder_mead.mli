@@ -1,0 +1,20 @@
+(** Derivative-free minimization (Nelder–Mead downhill simplex).
+
+    Used by the GNP network-coordinate baseline, which fits landmark and
+    host coordinates by minimizing a sum of squared relative errors — a
+    non-smooth objective for which Nelder–Mead is the classic choice
+    (and the method the original GNP paper used). *)
+
+type options = {
+  max_iterations : int;  (** default 500 *)
+  tolerance : float;  (** stop when the simplex spread falls below this *)
+  initial_step : float;  (** initial simplex edge length *)
+}
+
+val default_options : options
+
+val minimize :
+  ?options:options -> f:(float array -> float) -> float array -> float array * float
+(** [minimize ~f x0] returns [(x_best, f x_best)] starting from [x0].
+    [f] must be defined everywhere (return [infinity] to reject a
+    region).  The input [x0] is not mutated. *)

@@ -1,0 +1,22 @@
+(** Mutable binary min-heap keyed by float priorities.
+
+    Used by Dijkstra shortest paths and by the discrete-event simulator's
+    pending-event queue.  Ties are broken by insertion order so event
+    processing is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q priority v] inserts [v]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element; earliest-inserted
+    wins ties. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

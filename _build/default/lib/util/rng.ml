@@ -1,0 +1,98 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finalizer: xor-shift-multiply mix of the advanced state. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* 62 random bits fit OCaml's native int; modulo bias is negligible
+     for the small bounds used in simulations (<< 2^32). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t bound =
+  assert (bound > 0.);
+  (* 53 random mantissa bits mapped to [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bits /. 9007199254740992. *. bound
+
+let uniform t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t 1. < p
+
+let gauss t ~mean ~stddev =
+  (* Box–Muller; one deviate per call keeps the state trajectory simple. *)
+  let u1 = 1. -. float t 1. (* avoid log 0 *)
+  and u2 = float t 1. in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (stddev *. r *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~rate =
+  assert (rate > 0.);
+  let u = 1. -. float t 1. in
+  -.log u /. rate
+
+let pareto t ~shape ~scale =
+  assert (shape > 0. && scale > 0.);
+  let u = 1. -. float t 1. in
+  scale /. (u ** (1. /. shape))
+
+let lognormal t ~mu ~sigma = exp (gauss t ~mean:mu ~stddev:sigma)
+
+let choice t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let sample_indices t ~n ~k =
+  assert (k <= n);
+  if k * 3 >= n then begin
+    (* Dense: shuffle a full index array and truncate. *)
+    let a = permutation t n in
+    Array.sub a 0 k
+  end else begin
+    (* Sparse: rejection sampling into a hash table. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end

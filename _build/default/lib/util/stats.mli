@@ -1,0 +1,43 @@
+(** Descriptive statistics over float samples.
+
+    Functions either take an already-sorted array ([*_sorted] variants,
+    O(1) or O(log n)) or sort a private copy themselves. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 when fewer than two samples. *)
+
+val stddev : float array -> float
+
+val sorted_copy : float array -> float array
+
+val percentile_sorted : float array -> float -> float
+(** [percentile_sorted xs p] with [p] in [0, 100] and [xs] sorted
+    ascending, using linear interpolation between order statistics.
+    Raises [Invalid_argument] on the empty array. *)
+
+val percentile : float array -> float -> float
+(** As {!percentile_sorted} but sorts a copy first. *)
+
+val median : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on the empty array. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p10 : float;
+  p50 : float;
+  p90 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Full summary; raises [Invalid_argument] on the empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit

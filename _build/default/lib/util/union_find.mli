@@ -1,0 +1,18 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used by the topology generator to guarantee backbone connectivity. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merges the two sets; returns [false] when already merged. *)
+
+val same : t -> int -> int -> bool
+
+val count_sets : t -> int

@@ -1,0 +1,21 @@
+(** Streaming mean/variance accumulator (Welford's algorithm).
+
+    Numerically stable single-pass statistics for long simulation traces
+    where keeping every sample would be wasteful. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+(** [min]/[max] raise [Invalid_argument] when no samples were added. *)
+
+val merge : t -> t -> t
+(** Combines two accumulators as if all samples were seen by one. *)

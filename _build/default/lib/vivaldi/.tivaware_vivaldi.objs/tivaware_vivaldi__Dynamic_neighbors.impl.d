@@ -1,0 +1,1 @@
+lib/vivaldi/dynamic_neighbors.ml: Array Float Hashtbl List System Tivaware_util

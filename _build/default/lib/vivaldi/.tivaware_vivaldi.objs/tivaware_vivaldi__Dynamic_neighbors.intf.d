@@ -1,0 +1,1 @@
+lib/vivaldi/dynamic_neighbors.mli: System

@@ -1,0 +1,1 @@
+lib/vivaldi/protocol.ml: Array Float System Tivaware_delay_space Tivaware_eventsim Tivaware_util

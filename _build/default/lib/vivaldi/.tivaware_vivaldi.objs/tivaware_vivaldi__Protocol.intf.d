@@ -1,0 +1,1 @@
+lib/vivaldi/protocol.mli: System Tivaware_eventsim

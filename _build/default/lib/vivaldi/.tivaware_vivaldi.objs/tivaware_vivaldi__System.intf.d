@@ -1,0 +1,1 @@
+lib/vivaldi/system.mli: Tivaware_delay_space Tivaware_util

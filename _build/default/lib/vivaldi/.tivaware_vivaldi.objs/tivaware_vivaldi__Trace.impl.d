@@ -1,0 +1,1 @@
+lib/vivaldi/trace.ml: Array List System Tivaware_delay_space Tivaware_util

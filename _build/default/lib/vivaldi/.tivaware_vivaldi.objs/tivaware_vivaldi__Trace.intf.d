@@ -1,0 +1,1 @@
+lib/vivaldi/trace.mli: System

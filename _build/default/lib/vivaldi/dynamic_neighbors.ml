@@ -1,0 +1,61 @@
+module Rng = Tivaware_util.Rng
+
+type schedule = {
+  rounds_per_iteration : int;
+  iterations : int;
+}
+
+let default_schedule = { rounds_per_iteration = 100; iterations = 10 }
+
+(* Rank candidates by prediction ratio and keep the [keep] largest:
+   small ratios are shrunk edges, the likely severe-TIV ones. *)
+let select_best system node candidates keep =
+  let scored =
+    List.filter_map
+      (fun j ->
+        let r = System.prediction_ratio system node j in
+        (* Unmeasured candidates are unusable as probing neighbors. *)
+        if Float.is_nan r then None else Some (j, r))
+      candidates
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) scored in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | (j, _) :: rest -> j :: take (k - 1) rest
+  in
+  Array.of_list (take keep sorted)
+
+let refresh_neighbors system =
+  let n = System.size system in
+  let rng = System.rng system in
+  for i = 0 to n - 1 do
+    let current = System.neighbors system i in
+    let want = Array.length current in
+    if want > 0 && n > want + 1 then begin
+      (* Sample a fresh batch of candidates, excluding self; duplicates
+         with the current set collapse naturally via the seen table. *)
+      let seen = Hashtbl.create (4 * want) in
+      Array.iter (fun j -> Hashtbl.replace seen j ()) current;
+      let fresh = ref [] and fresh_count = ref 0 and attempts = ref 0 in
+      while !fresh_count < want && !attempts < 20 * want do
+        incr attempts;
+        let j = Rng.int rng n in
+        if j <> i && not (Hashtbl.mem seen j) then begin
+          Hashtbl.replace seen j ();
+          fresh := j :: !fresh;
+          incr fresh_count
+        end
+      done;
+      let pool = Array.to_list current @ !fresh in
+      let best = select_best system i pool want in
+      if Array.length best = want then System.set_neighbors system i best
+    end
+  done
+
+let run ?(on_iteration = fun _ _ -> ()) system schedule =
+  for k = 1 to schedule.iterations do
+    System.run system ~rounds:schedule.rounds_per_iteration;
+    refresh_neighbors system;
+    on_iteration k system
+  done

@@ -1,0 +1,141 @@
+module Rng = Tivaware_util.Rng
+module Sim = Tivaware_eventsim.Sim
+module Matrix = Tivaware_delay_space.Matrix
+
+type config = {
+  probe_period : float;
+  jitter : float;
+}
+
+let default_config = { probe_period = 1.; jitter = 0.1 }
+
+type stats = {
+  probes_sent : int;
+  probes_completed : int;
+}
+
+let run ?(config = default_config) sim system ~duration =
+  assert (config.probe_period > 0. && config.jitter >= 0. && config.jitter < 1.);
+  let n = System.size system in
+  let m = System.matrix system in
+  let rng = System.rng system in
+  let deadline = Sim.now sim +. duration in
+  let sent = ref 0 and completed = ref 0 in
+  let next_gap () =
+    let j = config.jitter *. config.probe_period in
+    Float.max 1e-3 (config.probe_period +. Rng.uniform rng (-.j) j)
+  in
+  let rec probe_loop node () =
+    if Sim.now sim < deadline then begin
+      let neighbors = System.neighbors system node in
+      if Array.length neighbors > 0 then begin
+        let peer = Rng.choice rng neighbors in
+        let rtt = Matrix.get m node peer in
+        if not (Float.is_nan rtt) then begin
+          incr sent;
+          (* The response arrives one RTT later (matrix is in ms). *)
+          Sim.schedule_after sim (rtt /. 1000.) (fun () ->
+              if Sim.now sim <= deadline then begin
+                System.observe system node peer;
+                incr completed
+              end)
+        end
+      end;
+      Sim.schedule_after sim (next_gap ()) (probe_loop node)
+    end
+  in
+  for node = 0 to n - 1 do
+    (* Desynchronized start within the first period. *)
+    Sim.schedule_after sim (Rng.float rng config.probe_period) (probe_loop node)
+  done;
+  Sim.run ~until:deadline sim;
+  { probes_sent = !sent; probes_completed = !completed }
+
+type churn = {
+  mean_uptime : float;
+  mean_downtime : float;
+}
+
+let default_churn = { mean_uptime = 60.; mean_downtime = 10. }
+
+type churn_stats = {
+  base : stats;
+  failures : int;
+  rejoins : int;
+  probes_lost : int;
+}
+
+let alive_fraction_hint c = c.mean_uptime /. (c.mean_uptime +. c.mean_downtime)
+
+let run_with_churn ?(config = default_config) ?(churn = default_churn) sim
+    system ~duration =
+  assert (churn.mean_uptime > 0. && churn.mean_downtime > 0.);
+  let n = System.size system in
+  let m = System.matrix system in
+  let rng = System.rng system in
+  let deadline = Sim.now sim +. duration in
+  let alive = Array.make n true in
+  let sent = ref 0 and completed = ref 0 in
+  let failures = ref 0 and rejoins = ref 0 and lost = ref 0 in
+  let next_gap () =
+    let j = config.jitter *. config.probe_period in
+    Float.max 1e-3 (config.probe_period +. Rng.uniform rng (-.j) j)
+  in
+  (* Up/down life cycle per node. *)
+  let rec go_down node () =
+    if Sim.now sim < deadline then begin
+      alive.(node) <- false;
+      incr failures;
+      Sim.schedule_after sim
+        (Rng.exponential rng ~rate:(1. /. churn.mean_downtime))
+        (come_up node)
+    end
+  and come_up node () =
+    if Sim.now sim < deadline then begin
+      alive.(node) <- true;
+      incr rejoins;
+      (* State lost while down: restart from a fresh coordinate. *)
+      System.reset_node system node;
+      Sim.schedule_after sim
+        (Rng.exponential rng ~rate:(1. /. churn.mean_uptime))
+        (go_down node)
+    end
+  in
+  let rec probe_loop node () =
+    if Sim.now sim < deadline then begin
+      if alive.(node) then begin
+        let neighbors = System.neighbors system node in
+        if Array.length neighbors > 0 then begin
+          let peer = Rng.choice rng neighbors in
+          let rtt = Matrix.get m node peer in
+          if not (Float.is_nan rtt) then begin
+            incr sent;
+            if not alive.(peer) then incr lost
+            else
+              Sim.schedule_after sim (rtt /. 1000.) (fun () ->
+                  (* Both ends must still be up when the response lands. *)
+                  if Sim.now sim <= deadline && alive.(node) && alive.(peer)
+                  then begin
+                    System.observe system node peer;
+                    incr completed
+                  end
+                  else incr lost)
+          end
+        end
+      end;
+      Sim.schedule_after sim (next_gap ()) (probe_loop node)
+    end
+  in
+  for node = 0 to n - 1 do
+    Sim.schedule_after sim (Rng.float rng config.probe_period) (probe_loop node);
+    Sim.schedule_after sim
+      (Rng.exponential rng ~rate:(1. /. churn.mean_uptime))
+      (go_down node)
+  done;
+  Sim.run ~until:deadline sim;
+  {
+    base = { probes_sent = !sent; probes_completed = !completed };
+    failures = !failures;
+    rejoins = !rejoins;
+    probes_lost = !lost;
+  }

@@ -1,0 +1,97 @@
+(** The Vivaldi decentralized network coordinate system (Dabek, Cox,
+    Kaashoek, Morris — SIGCOMM 2004), as used throughout the paper.
+
+    Each node holds a coordinate in a low-dimensional Euclidean space
+    and a local error estimate.  Whenever a node measures the delay to a
+    neighbor it moves along the spring force
+    [(rtt - ||xi - xj||) * u(xi - xj)], with an adaptive timestep that
+    weights confident neighbors more.  The paper embeds into 5-D
+    Euclidean space with 32 random probing neighbors per node. *)
+
+type timestep =
+  | Constant of float  (** fixed delta, the original simple rule *)
+  | Adaptive of { cc : float; ce : float }
+      (** Dabek et al.'s adaptive rule; [cc]=[ce]=0.25 recommended *)
+
+type config = {
+  dim : int;  (** embedding dimension (paper: 5) *)
+  timestep : timestep;
+  neighbors_per_node : int;  (** paper: 32 random neighbors *)
+  height : bool;
+      (** height-vector model (Dabek et al.): each node carries a
+          non-negative height [h] modelling its access link, and the
+          predicted delay becomes [||x_i - x_j|| + h_i + h_j].  The
+          paper's experiments use plain Euclidean coordinates
+          ([height = false]); the variant is provided for ablations. *)
+}
+
+val default_config : config
+(** 5-D, adaptive (0.25, 0.25), 32 neighbors, no height. *)
+
+type t
+
+val create : ?config:config -> Tivaware_util.Rng.t -> Tivaware_delay_space.Matrix.t -> t
+(** Fresh system over the delay matrix: random small initial
+    coordinates, random neighbor sets (the system keeps its own
+    sub-generator; the passed one is advanced once). *)
+
+val config : t -> config
+val size : t -> int
+val matrix : t -> Tivaware_delay_space.Matrix.t
+
+val rng : t -> Tivaware_util.Rng.t
+(** The system's private generator, for components (dynamic neighbor
+    refresh, experiment drivers) that must stay deterministic with it. *)
+
+val coord : t -> int -> Tivaware_util.Vec.t
+(** The node's current coordinate (a copy). *)
+
+val error_estimate : t -> int -> float
+(** The node's current local error estimate in [0, ...]. *)
+
+val predicted : t -> int -> int -> float
+(** Euclidean distance between current coordinates. *)
+
+val prediction_ratio : t -> int -> int -> float
+(** [predicted /. measured]; [nan] when the measurement is missing. *)
+
+val neighbors : t -> int -> int array
+(** Current probing neighbor set (a copy). *)
+
+val set_neighbors : t -> int -> int array -> unit
+(** Replaces a node's probing neighbors (used by dynamic-neighbor
+    Vivaldi).  Self-loops are rejected with [Invalid_argument]. *)
+
+val neighbor_edges : t -> (int * int) list
+(** All (node, neighbor) pairs, normalized to [i < j], deduplicated. *)
+
+val observe : t -> int -> int -> unit
+(** [observe t i j]: node [i] measures its delay to [j] and updates its
+    coordinate (and error estimate).  No-op when the measurement is
+    missing. *)
+
+val reset_node : t -> int -> unit
+(** Re-initializes one node's coordinate (small random position, error
+    estimate back to 1) — what a node does when it rejoins after a
+    failure and has lost its state. *)
+
+val round : t -> unit
+(** One simulation round ≈ one virtual second: every node, in random
+    order, probes one random neighbor. *)
+
+val run : t -> rounds:int -> unit
+
+val rounds_elapsed : t -> int
+
+val movement : t -> Tivaware_util.Welford.t
+(** Distribution of per-update coordinate displacements (ms per step),
+    matching the paper's "movement speed" statistic. *)
+
+val reset_movement : t -> unit
+
+val absolute_errors : t -> float array
+(** |predicted - measured| over all present edges at the current
+    state. *)
+
+val relative_errors : t -> float array
+(** |predicted - measured| / measured over all present edges. *)

@@ -1,0 +1,74 @@
+module Vec = Tivaware_util.Vec
+module Stats = Tivaware_util.Stats
+module Matrix = Tivaware_delay_space.Matrix
+
+type error_trace = {
+  edge : int * int;
+  errors : float array;
+}
+
+let error_traces system ~edges ~rounds =
+  let m = System.matrix system in
+  let traces = Array.make_matrix (List.length edges) rounds 0. in
+  for r = 0 to rounds - 1 do
+    System.round system;
+    List.iteri
+      (fun k (i, j) ->
+        traces.(k).(r) <- System.predicted system i j -. Matrix.get m i j)
+      edges
+  done;
+  List.mapi (fun k edge -> { edge; errors = traces.(k) }) edges
+
+type oscillation = {
+  delays : float array;
+  ranges : float array;
+}
+
+let oscillation ?(sample_every = 1) system ~rounds =
+  assert (sample_every >= 1);
+  let m = System.matrix system in
+  let edges = Matrix.edges m in
+  let k = Array.length edges in
+  let mins = Array.make k infinity and maxs = Array.make k neg_infinity in
+  let sample () =
+    Array.iteri
+      (fun idx (i, j, _) ->
+        let p = System.predicted system i j in
+        if p < mins.(idx) then mins.(idx) <- p;
+        if p > maxs.(idx) then maxs.(idx) <- p)
+      edges
+  in
+  for r = 1 to rounds do
+    System.round system;
+    if r mod sample_every = 0 then sample ()
+  done;
+  {
+    delays = Array.map (fun (_, _, d) -> d) edges;
+    ranges = Array.mapi (fun idx _ -> maxs.(idx) -. mins.(idx)) edges;
+  }
+
+type steady_state_stats = {
+  median_abs_error : float;
+  p90_abs_error : float;
+  median_movement : float;
+  p90_movement : float;
+}
+
+let steady_state_stats system ~rounds =
+  let n = System.size system in
+  let movements = ref [] in
+  for _ = 1 to rounds do
+    let before = Array.init n (fun i -> System.coord system i) in
+    System.round system;
+    for i = 0 to n - 1 do
+      movements := Vec.dist before.(i) (System.coord system i) :: !movements
+    done
+  done;
+  let movements = Array.of_list !movements in
+  let abs_errors = System.absolute_errors system in
+  {
+    median_abs_error = Stats.median abs_errors;
+    p90_abs_error = Stats.percentile abs_errors 90.;
+    median_movement = Stats.median movements;
+    p90_movement = Stats.percentile movements 90.;
+  }

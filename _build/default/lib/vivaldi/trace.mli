@@ -1,0 +1,40 @@
+(** Instrumented Vivaldi runs: error traces and oscillation analysis
+    (Figures 10 and 11, plus the in-text error/movement statistics).
+
+    These helpers advance a {!System.t} while recording per-round
+    observables.  A "round" corresponds to one second of simulation time
+    in the paper's terms (each node probes one neighbor per round). *)
+
+type error_trace = {
+  edge : int * int;
+  errors : float array;  (** predicted - measured per round (signed) *)
+}
+
+val error_traces :
+  System.t -> edges:(int * int) list -> rounds:int -> error_trace list
+(** Runs [rounds] rounds, sampling the signed prediction error of each
+    listed edge after every round (Figure 10). *)
+
+type oscillation = {
+  delays : float array;  (** measured delay per tracked edge *)
+  ranges : float array;  (** max - min predicted distance per edge *)
+}
+
+val oscillation :
+  ?sample_every:int -> System.t -> rounds:int -> oscillation
+(** Runs [rounds] more rounds, tracking the min and max predicted
+    distance of {e every} present edge (sampled every [sample_every]
+    rounds, default 1).  [ranges.(k)] is the oscillation range of the
+    edge with measured delay [delays.(k)] (Figure 11). *)
+
+type steady_state_stats = {
+  median_abs_error : float;
+  p90_abs_error : float;
+  median_movement : float;  (** ms per update step *)
+  p90_movement : float;
+}
+
+val steady_state_stats : System.t -> rounds:int -> steady_state_stats
+(** Runs [rounds] more rounds, recording every node's per-round
+    displacement, then reports the error and movement-speed statistics
+    quoted in Section 3.2.1. *)

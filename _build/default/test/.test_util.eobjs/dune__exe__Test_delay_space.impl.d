@@ -1,0 +1,1 @@
+test/test_delay_space.ml: Alcotest Array Filename Float Fun List Out_channel Printf QCheck2 QCheck_alcotest Sys Tivaware_delay_space Tivaware_tiv Tivaware_topology Tivaware_util Unix

@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Array Float Fun Hashtbl List Printf QCheck2 QCheck_alcotest Tivaware_delay_space Tivaware_dht Tivaware_topology Tivaware_util

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Float List Option Printf QCheck2 QCheck_alcotest Tivaware_delay_space Tivaware_overlay Tivaware_topology Tivaware_util

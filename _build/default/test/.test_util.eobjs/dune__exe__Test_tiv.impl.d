@@ -1,0 +1,1 @@
+test/test_tiv.ml: Alcotest Array Float Hashtbl List QCheck2 QCheck_alcotest Tivaware_delay_space Tivaware_tiv Tivaware_topology Tivaware_util

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Float List Printf QCheck2 QCheck_alcotest Result Tivaware_delay_space Tivaware_tiv Tivaware_topology Tivaware_util
