@@ -1,0 +1,152 @@
+(* Measurement-plane degradation sweep: what the paper's oracle-delay
+   results look like when every probe crosses a lossy, jittery network
+   under a probe budget.  Not a paper figure — an ablation of the
+   measurement assumptions behind Figures 15 and 20. *)
+
+module Rng = Tivaware_util.Rng
+module Table = Tivaware_util.Table
+module Matrix = Tivaware_delay_space.Matrix
+module Stats = Tivaware_util.Stats
+module Ring = Tivaware_meridian.Ring
+module Query = Tivaware_meridian.Query
+module Eval = Tivaware_tiv.Eval
+module Experiment = Tivaware_core.Experiment
+module Selectors = Tivaware_core.Selectors
+module System = Tivaware_vivaldi.System
+module Engine = Tivaware_measure.Engine
+module Fault = Tivaware_measure.Fault
+module Budget = Tivaware_measure.Budget
+module Probe_stats = Tivaware_measure.Probe_stats
+
+(* (label, loss, jitter) sweep points.  Retries fixed at 1 so loss also
+   shows up as extra issued probes, not only as failures. *)
+let sweep =
+  [
+    ("oracle", 0., 0.);
+    ("mild", 0.05, 0.1);
+    ("harsh", 0.1, 0.2);
+  ]
+
+let engine_for ctx ~loss ~jitter ?budget ?cache_ttl () =
+  let fault = { Fault.default with Fault.loss; jitter; retries = 1 } in
+  Engine.of_matrix
+    ~config:{ Engine.fault; budget; cache_ttl; seed = ctx.Context.seed + 31 }
+    (Context.matrix ctx)
+
+let measure ctx =
+  Report.section "measure"
+    "Measurement plane: Meridian and the TIV alert under probe loss/jitter";
+  Report.expectation
+    "oracle row reproduces the no-engine results; loss inflates probe \
+     counts and failures, jitter degrades penalties and alert accuracy";
+  let m = Context.matrix ctx in
+  let meridian_count = Context.meridian_count_ideal ctx in
+  let cfg = Ring.unlimited_config (Matrix.size m) in
+
+  (* Meridian closest-neighbor queries through the engine. *)
+  let table =
+    Table.create
+      ~header:
+        [
+          "faults"; "perfect"; "p50_penalty"; "p90_penalty"; "failures";
+          "probes/query"; "issued"; "lost"; "retried";
+        ]
+  in
+  List.iter
+    (fun (label, loss, jitter) ->
+      let engine = engine_for ctx ~loss ~jitter () in
+      let r =
+        Experiment.run_meridian
+          (Context.rng ctx (41 + int_of_float (loss *. 1000.)))
+          m ~runs:3 ~termination:Query.Any_improvement ~engine ~meridian_count
+          ~build:(Selectors.meridian_build m cfg) ()
+      in
+      let penalties = r.Experiment.base.Experiment.penalties in
+      let s = Stats.summarize penalties in
+      let perfect =
+        let exact = Array.fold_left (fun a p -> if p = 0. then a + 1 else a) 0 penalties in
+        100. *. float_of_int exact /. float_of_int (max 1 (Array.length penalties))
+      in
+      let st = Engine.stats engine in
+      Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f%%" perfect;
+          Printf.sprintf "%.2f" s.Stats.p50;
+          Printf.sprintf "%.2f" s.Stats.p90;
+          string_of_int r.Experiment.base.Experiment.failures;
+          Printf.sprintf "%.1f"
+            (float_of_int r.Experiment.probes
+            /. float_of_int (max 1 r.Experiment.queries));
+          string_of_int st.Probe_stats.issued;
+          string_of_int st.Probe_stats.lost;
+          string_of_int st.Probe_stats.retried;
+        ])
+    sweep;
+  Table.print table;
+
+  (* TIV-alert accuracy/recall at the paper's mid threshold, with the
+     ratio matrix probed through the engine. *)
+  Report.note
+    "TIV alert at threshold 0.5, worst-10%% ground truth, alert ratios \
+     probed through the engine:";
+  let system = Context.vivaldi ctx in
+  let predicted i j = System.predicted system i j in
+  let severity = Context.severity ctx in
+  let alert_table =
+    Table.create ~header:[ "faults"; "alerts"; "accuracy"; "recall"; "unmeasured" ]
+  in
+  List.iter
+    (fun (label, loss, jitter) ->
+      let engine = engine_for ctx ~loss ~jitter () in
+      let points =
+        Eval.evaluate_engine ~engine ~predicted ~severity ~worst_fraction:0.1
+          ~thresholds:[ 0.5 ]
+      in
+      let p = List.hd points in
+      let st = Engine.stats engine in
+      Table.add_row alert_table
+        [
+          label;
+          string_of_int p.Eval.alerts;
+          Printf.sprintf "%.3f" p.Eval.accuracy;
+          Printf.sprintf "%.3f" p.Eval.recall;
+          string_of_int st.Probe_stats.failed;
+        ])
+    sweep;
+  Table.print alert_table;
+
+  (* Service mode: the TTL cache amortizes repeat Meridian probes under
+     a per-node budget.  Same harsh faults, with and without cache. *)
+  Report.note "service mode under harsh faults (budget 50 tokens @ 5/s per node):";
+  let budget = Budget.per_node ~capacity:50. ~rate:5. in
+  let svc_table =
+    Table.create
+      ~header:[ "mode"; "p50_penalty"; "failures"; "issued"; "denied"; "hit"; "stale" ]
+  in
+  List.iter
+    (fun (mode, cache_ttl) ->
+      let engine = engine_for ctx ~loss:0.1 ~jitter:0.2 ~budget ?cache_ttl () in
+      let r =
+        Experiment.run_meridian (Context.rng ctx 43) m ~runs:3
+          ~termination:Query.Any_improvement ~engine ~meridian_count
+          ~build:(Selectors.meridian_build m cfg) ()
+      in
+      let s = Stats.summarize r.Experiment.base.Experiment.penalties in
+      let st = Engine.stats engine in
+      Table.add_row svc_table
+        [
+          mode;
+          Printf.sprintf "%.2f" s.Stats.p50;
+          string_of_int r.Experiment.base.Experiment.failures;
+          string_of_int st.Probe_stats.issued;
+          string_of_int st.Probe_stats.denied;
+          string_of_int st.Probe_stats.hits;
+          string_of_int st.Probe_stats.stale;
+        ])
+    [ ("on-demand", None); ("cached ttl=60", Some 60.) ];
+  Table.print svc_table
+
+let register () =
+  Registry.register "measure"
+    "Probe engine: degradation under loss/jitter, budgets, caching" measure

@@ -33,6 +33,7 @@ let () =
   Figures_strawman.register ();
   Figures_alert.register ();
   Figures_tivaware.register ();
+  Figures_measure.register ();
   Ablations.register ();
   Extensions.register ();
   if !perf then Perf.run ()

@@ -13,6 +13,54 @@ module Overlay = Tivaware_meridian.Overlay
 module Query = Tivaware_meridian.Query
 module Generator = Tivaware_topology.Generator
 module Datasets = Tivaware_topology.Datasets
+module Engine = Tivaware_measure.Engine
+module Fault = Tivaware_measure.Fault
+module Budget = Tivaware_measure.Budget
+
+(* Probe-engine kernels: the per-lookup cost the measurement plane adds
+   over a raw Matrix.get.  Collected separately into BENCH_measure.json. *)
+let measure_tests m =
+  let oracle_engine = Engine.of_matrix m in
+  let faulty_engine =
+    Engine.of_matrix
+      ~config:
+        {
+          Engine.default_config with
+          Engine.fault = { Fault.default with Fault.loss = 0.1; jitter = 0.2 };
+          seed = 6;
+        }
+      m
+  in
+  let cached_engine =
+    Engine.of_matrix
+      ~config:{ Engine.default_config with Engine.cache_ttl = Some 1e9 }
+      m
+  in
+  (* Warm the cache so the kernel measures the pure hit path. *)
+  for i = 0 to 49 do
+    for j = 0 to 49 do
+      if i <> j then ignore (Engine.rtt cached_engine i j)
+    done
+  done;
+  let budget = Budget.create (Budget.per_node ~capacity:1e12 ~rate:1.) ~n:200 in
+  let rng = Rng.create 7 in
+  [
+    Test.make ~name:"measure/probe-oracle"
+      (Staged.stage (fun () ->
+           ignore (Engine.rtt oracle_engine (Rng.int rng 200) (Rng.int rng 200))));
+    Test.make ~name:"measure/probe-faulty"
+      (Staged.stage (fun () ->
+           ignore (Engine.rtt faulty_engine (Rng.int rng 200) (Rng.int rng 200))));
+    Test.make ~name:"measure/cache-hit"
+      (Staged.stage (fun () ->
+           ignore (Engine.rtt cached_engine (Rng.int rng 50) (Rng.int rng 50))));
+    Test.make ~name:"measure/budget-check"
+      (Staged.stage (fun () ->
+           ignore (Budget.try_take budget ~now:0. (Rng.int rng 200))));
+    Test.make ~name:"measure/matrix-get-baseline"
+      (Staged.stage (fun () ->
+           ignore (Matrix.get m (Rng.int rng 200) (Rng.int rng 200))));
+  ]
 
 let tests () =
   let data = Datasets.generate ~size:200 ~seed:99 Datasets.Ds2 in
@@ -45,12 +93,40 @@ let tests () =
       (Staged.stage (fun () ->
            ignore (Datasets.generate ~size:200 ~seed:5 Datasets.Ds2)));
   ]
+  @ measure_tests m
+
+(* Strip bechamel's group prefix ("kernel/name" -> "name"). *)
+let kernel_name name =
+  match String.index_opt name '/' with
+  | Some i when String.sub name 0 i = "kernel" ->
+    String.sub name (i + 1) (String.length name - i - 1)
+  | _ -> name
+
+let write_measure_json estimates =
+  let measure =
+    List.filter
+      (fun (name, _) -> String.length name >= 8 && String.sub name 0 8 = "measure/")
+      estimates
+  in
+  if measure <> [] then begin
+    let oc = open_out "BENCH_measure.json" in
+    output_string oc "{\n  \"kernels\": [\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %.2f}%s\n" name ns
+          (if i = List.length measure - 1 then "" else ","))
+      measure;
+    output_string oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote BENCH_measure.json (%d kernels)\n" (List.length measure)
+  end
 
 let run () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
-  (* Run each test individually and print the OLS-estimated monotonic
-     time per run. *)
+  (* Run each test individually, print the OLS-estimated monotonic time
+     per run, and collect the estimates. *)
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -61,7 +137,10 @@ let run () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+          | Some [ est ] ->
+            Printf.printf "%-28s %12.1f ns/run\n" name est;
+            estimates := (kernel_name name, est) :: !estimates
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         ols)
-    (List.map (fun t -> Test.make_grouped ~name:"kernel" [ t ]) (tests ()))
+    (List.map (fun t -> Test.make_grouped ~name:"kernel" [ t ]) (tests ()));
+  write_measure_json (List.rev !estimates)

@@ -32,6 +32,10 @@ module Ring = Tivaware_meridian.Ring
 module Experiment = Tivaware_core.Experiment
 module Selectors = Tivaware_core.Selectors
 module Penalty = Tivaware_core.Penalty
+module Engine = Tivaware_measure.Engine
+module Fault = Tivaware_measure.Fault
+module Budget = Tivaware_measure.Budget
+module Probe_stats = Tivaware_measure.Probe_stats
 
 (* ---------------------------------------------------------------- *)
 (* Shared arguments                                                  *)
@@ -67,6 +71,64 @@ let load_or_generate matrix_file size seed =
   | Some path -> Io.load path
   | None ->
     (Datasets.generate ~size ~seed Datasets.Ds2).Generator.matrix
+
+(* ---------------------------------------------------------------- *)
+(* Measurement-plane arguments (vivaldi / meridian / alert)          *)
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Probe loss probability injected by the measurement plane.")
+
+let meas_jitter_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "jitter" ] ~docv:"F"
+        ~doc:"Multiplicative probe jitter: measured RTT is scaled by a \
+              uniform factor in [1-F, 1+F].")
+
+let probe_budget_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "probe-budget" ] ~docv:"N"
+        ~doc:"Per-node probe budget: token bucket of capacity N refilled \
+              at N tokens per logical second (0 = unlimited).")
+
+let cache_ttl_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "cache-ttl" ] ~docv:"SECONDS"
+        ~doc:"RTT cache TTL in logical seconds — the IDMS-style delay \
+              service mode (0 = on-demand, no cache).")
+
+let make_engine m ~loss ~jitter ~probe_budget ~cache_ttl ~seed =
+  if loss < 0. || loss >= 1. then begin
+    prerr_endline "tivlab: --loss must be in [0, 1)";
+    exit 2
+  end;
+  if jitter < 0. || jitter > 1. then begin
+    prerr_endline "tivlab: --jitter must be in [0, 1]";
+    exit 2
+  end;
+  let config =
+    {
+      Engine.fault = { Fault.default with Fault.loss; jitter };
+      budget =
+        (if probe_budget <= 0 then None
+         else
+           Some
+             (Budget.per_node
+                ~capacity:(float_of_int probe_budget)
+                ~rate:(float_of_int probe_budget)));
+      cache_ttl = (if cache_ttl <= 0. then None else Some cache_ttl);
+      seed;
+    }
+  in
+  Engine.of_matrix ~config m
+
+let print_probe_summary engine =
+  Format.printf "probes: %a@." Probe_stats.pp (Engine.stats engine)
 
 (* ---------------------------------------------------------------- *)
 (* gen                                                               *)
@@ -112,11 +174,13 @@ let survey_cmd =
 (* vivaldi                                                           *)
 
 let vivaldi_cmd =
-  let run matrix_file size seed rounds dim dynamic candidates =
+  let run matrix_file size seed rounds dim dynamic candidates loss jitter
+      probe_budget cache_ttl =
     let m = load_or_generate matrix_file size seed in
     let config = { System.default_config with System.dim } in
     let rng = Rng.create seed in
-    let system = Selectors.embed_vivaldi ~config ~rounds rng m in
+    let engine = make_engine m ~loss ~jitter ~probe_budget ~cache_ttl ~seed in
+    let system = Selectors.embed_vivaldi_engine ~config ~rounds rng engine in
     if dynamic > 0 then
       Dynamic_neighbors.run system
         { Dynamic_neighbors.rounds_per_iteration = rounds; iterations = dynamic };
@@ -130,7 +194,8 @@ let vivaldi_cmd =
     in
     Printf.printf "neighbor selection: %s (failures %d)\n"
       (Penalty.summarize result.Experiment.penalties)
-      result.Experiment.failures
+      result.Experiment.failures;
+    print_probe_summary engine
   in
   let rounds =
     Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Embedding rounds.")
@@ -149,16 +214,21 @@ let vivaldi_cmd =
   in
   Cmd.v
     (Cmd.info "vivaldi" ~doc:"Vivaldi embedding and neighbor selection.")
-    Term.(const run $ matrix_arg $ size_arg $ seed_arg $ rounds $ dim $ dynamic $ candidates)
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ rounds $ dim $ dynamic
+      $ candidates $ loss_arg $ meas_jitter_arg $ probe_budget_arg
+      $ cache_ttl_arg)
 
 (* ---------------------------------------------------------------- *)
 (* meridian                                                          *)
 
 let meridian_cmd =
-  let run matrix_file size seed count beta tiv_aware no_termination =
+  let run matrix_file size seed count beta tiv_aware no_termination loss jitter
+      probe_budget cache_ttl =
     let m = load_or_generate matrix_file size seed in
     let cfg = { Ring.default_config with Ring.beta } in
     let rng = Rng.create seed in
+    let engine = make_engine m ~loss ~jitter ~probe_budget ~cache_ttl ~seed in
     let termination =
       if no_termination then Some Tivaware_meridian.Query.Any_improvement else None
     in
@@ -166,21 +236,24 @@ let meridian_cmd =
       if tiv_aware then begin
         let vivaldi = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
         let predicted i j = System.predicted vivaldi i j in
-        Experiment.run_meridian rng m ~runs:5 ?termination ~meridian_count:count
-          ~build:(Selectors.meridian_build_tiv_aware m cfg ~predicted)
-          ~fallback:(Selectors.meridian_fallback_tiv_aware m ~predicted ())
+        Experiment.run_meridian rng m ~runs:5 ?termination ~engine
+          ~meridian_count:count
+          ~build:(Selectors.meridian_build_tiv_aware_engine engine cfg ~predicted)
+          ~fallback:
+            (Selectors.meridian_fallback_tiv_aware_engine engine ~predicted ())
           ()
       end
       else
-        Experiment.run_meridian rng m ~runs:5 ?termination ~meridian_count:count
-          ~build:(Selectors.meridian_build m cfg) ()
+        Experiment.run_meridian rng m ~runs:5 ?termination ~engine
+          ~meridian_count:count ~build:(Selectors.meridian_build m cfg) ()
     in
     Printf.printf "neighbor selection: %s\n"
       (Penalty.summarize result.Experiment.base.Experiment.penalties);
     Printf.printf "probes=%d queries=%d hops/query=%.2f restarts=%d failures=%d\n"
       result.Experiment.probes result.Experiment.queries
       result.Experiment.hops_mean result.Experiment.restarts
-      result.Experiment.base.Experiment.failures
+      result.Experiment.base.Experiment.failures;
+    print_probe_summary engine
   in
   let count =
     Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Meridian node count.")
@@ -198,7 +271,8 @@ let meridian_cmd =
     (Cmd.info "meridian" ~doc:"Meridian neighbor-selection experiment.")
     Term.(
       const run $ matrix_arg $ size_arg $ seed_arg $ count $ beta $ tiv_aware
-      $ no_termination)
+      $ no_termination $ loss_arg $ meas_jitter_arg $ probe_budget_arg
+      $ cache_ttl_arg)
 
 (* ---------------------------------------------------------------- *)
 (* import                                                            *)
@@ -284,17 +358,15 @@ let repair_cmd =
 (* alert                                                             *)
 
 let alert_cmd =
-  let run matrix_file size seed worst =
+  let run matrix_file size seed worst loss jitter probe_budget cache_ttl =
     let m = load_or_generate matrix_file size seed in
     let severity = Severity.all m in
     let system = Selectors.embed_vivaldi (Rng.create seed) m in
-    let ratios =
-      Alert.ratio_matrix ~measured:m
-        ~predicted:(fun i j -> System.predicted system i j)
-    in
+    let engine = make_engine m ~loss ~jitter ~probe_budget ~cache_ttl ~seed in
     let points =
-      Eval.evaluate ~ratios ~severity ~worst_fraction:worst
-        ~thresholds:Eval.default_thresholds
+      Eval.evaluate_engine ~engine
+        ~predicted:(fun i j -> System.predicted system i j)
+        ~severity ~worst_fraction:worst ~thresholds:Eval.default_thresholds
     in
     Printf.printf "worst fraction: %.0f%%\n" (100. *. worst);
     Printf.printf "%10s %8s %10s %8s\n" "threshold" "alerts" "accuracy" "recall";
@@ -302,7 +374,8 @@ let alert_cmd =
       (fun p ->
         Printf.printf "%10.1f %8d %10.3f %8.3f\n" p.Eval.threshold p.Eval.alerts
           p.Eval.accuracy p.Eval.recall)
-      points
+      points;
+    print_probe_summary engine
   in
   let worst =
     Arg.(
@@ -311,7 +384,9 @@ let alert_cmd =
   in
   Cmd.v
     (Cmd.info "alert" ~doc:"Evaluate the TIV alert mechanism.")
-    Term.(const run $ matrix_arg $ size_arg $ seed_arg $ worst)
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ worst $ loss_arg
+      $ meas_jitter_arg $ probe_budget_arg $ cache_ttl_arg)
 
 (* ---------------------------------------------------------------- *)
 (* synthesize                                                        *)

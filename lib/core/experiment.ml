@@ -2,6 +2,7 @@ module Rng = Tivaware_util.Rng
 module Matrix = Tivaware_delay_space.Matrix
 module Query = Tivaware_meridian.Query
 module Overlay = Tivaware_meridian.Overlay
+module Engine = Tivaware_measure.Engine
 
 type result = {
   penalties : float array;
@@ -70,8 +71,8 @@ type meridian_result = {
   restarts : int;
 }
 
-let run_meridian rng m ?(runs = 5) ?termination ?fallback ~meridian_count
-    ~build () =
+let run_meridian rng m ?(runs = 5) ?termination ?fallback ?engine
+    ~meridian_count ~build () =
   let n = Matrix.size m in
   assert (meridian_count > 1 && meridian_count < n);
   let penalties = ref [] and failures = ref 0 in
@@ -89,20 +90,31 @@ let run_meridian rng m ?(runs = 5) ?termination ?fallback ~meridian_count
           if Float.is_nan (Matrix.get m start client) then incr failures
           else begin
             let outcome =
-              Query.closest ?termination ?fallback:fb overlay m ~start
-                ~target:client
+              match engine with
+              | None ->
+                Query.closest ?termination ?fallback:fb overlay m ~start
+                  ~target:client
+              | Some e ->
+                (* Service mode: one logical second per query, so cache
+                   TTLs and budget refills span queries. *)
+                Engine.advance e 1.;
+                Query.closest_engine ?termination ?fallback:fb overlay e
+                  ~start ~target:client
             in
             incr queries;
             probes := !probes + outcome.Query.probes;
             hops := !hops + outcome.Query.hops;
             restarts := !restarts + outcome.Query.restarts;
-            if Float.is_nan outcome.Query.chosen_delay || opt_d <= 0. then
-              incr failures
+            (* Noisy measurements may steer the choice, but the client
+               pays the true delay of whoever was chosen. *)
+            let paid =
+              if Float.is_nan outcome.Query.chosen_delay then nan
+              else Matrix.get m outcome.Query.chosen client
+            in
+            if Float.is_nan paid || opt_d <= 0. then incr failures
             else
               penalties :=
-                Penalty.percentage ~selected:outcome.Query.chosen_delay
-                  ~optimal:opt_d
-                :: !penalties
+                Penalty.percentage ~selected:paid ~optimal:opt_d :: !penalties
           end))
       clients
   done;

@@ -43,6 +43,7 @@ val run_meridian :
   ?runs:int ->
   ?termination:Tivaware_meridian.Query.termination ->
   ?fallback:(Tivaware_meridian.Overlay.t -> Tivaware_meridian.Query.fallback) ->
+  ?engine:Tivaware_measure.Engine.t ->
   meridian_count:int ->
   build:
     (Tivaware_util.Rng.t -> int array -> Tivaware_meridian.Overlay.t) ->
@@ -51,4 +52,12 @@ val run_meridian :
 (** [run_meridian rng m ~meridian_count ~build ()]: per run, samples the
     Meridian subset, calls [build] to construct the overlay (hooks for
     filtered / TIV-aware construction), then queries once per client
-    from a random start node. *)
+    from a random start node.
+
+    With [?engine], every query probes through the measurement plane
+    ({!Tivaware_meridian.Query.closest_engine}); the engine clock
+    advances one logical second per query, queries whose start probe
+    fails count as failures, and probe/penalty degradation under
+    loss/jitter shows up in the result.  [m] stays the ground truth:
+    noisy measurements steer the choice, but the penalty charges the
+    chosen node's true delay against the true optimum. *)

@@ -6,11 +6,17 @@ module Lat = Tivaware_embedding.Lat
 module Ring = Tivaware_meridian.Ring
 module Overlay = Tivaware_meridian.Overlay
 module Tiv_aware = Tivaware_meridian.Tiv_aware
+module Engine = Tivaware_measure.Engine
 
 let default_rounds = 200
 
 let embed_vivaldi ?config ?(rounds = default_rounds) rng m =
   let system = System.create ?config rng m in
+  System.run system ~rounds;
+  system
+
+let embed_vivaldi_engine ?config ?(rounds = default_rounds) rng engine =
+  let system = System.create_with_engine ?config rng engine in
   System.run system ~rounds;
   system
 
@@ -62,5 +68,13 @@ let meridian_build_tiv_aware m cfg ~predicted ?ts ?tl rng nodes =
   let placement = Tiv_aware.placement cfg ~predicted ~measured:m ?ts ?tl () in
   Overlay.build ~placement rng m cfg ~meridian_nodes:nodes
 
+let meridian_build_tiv_aware_engine engine cfg ~predicted ?ts ?tl rng nodes =
+  let m = Engine.matrix_exn engine in
+  let placement = Tiv_aware.placement_engine cfg ~predicted ~engine ?ts ?tl () in
+  Overlay.build ~placement rng m cfg ~meridian_nodes:nodes
+
 let meridian_fallback_tiv_aware m ~predicted ?ts () overlay =
   Tiv_aware.fallback overlay ~predicted ~measured:m ?ts ()
+
+let meridian_fallback_tiv_aware_engine engine ~predicted ?ts () overlay =
+  Tiv_aware.fallback_engine overlay ~predicted ~engine ?ts ()

@@ -14,6 +14,15 @@ val embed_vivaldi :
 (** Creates a Vivaldi system and runs it to (approximate) convergence;
     default 200 rounds. *)
 
+val embed_vivaldi_engine :
+  ?config:Tivaware_vivaldi.System.config ->
+  ?rounds:int ->
+  Tivaware_util.Rng.t ->
+  Tivaware_measure.Engine.t ->
+  Tivaware_vivaldi.System.t
+(** As {!embed_vivaldi}, but probing through a measurement-plane
+    engine (loss/jitter/budget-aware embedding). *)
+
 val embed_vivaldi_filtered :
   ?config:Tivaware_vivaldi.System.config ->
   ?rounds:int ->
@@ -62,6 +71,18 @@ val meridian_build_tiv_aware :
   Tivaware_meridian.Overlay.t
 (** Overlay builder with TIV-aware dual ring placement. *)
 
+val meridian_build_tiv_aware_engine :
+  Tivaware_measure.Engine.t ->
+  Tivaware_meridian.Ring.config ->
+  predicted:(int -> int -> float) ->
+  ?ts:float ->
+  ?tl:float ->
+  Tivaware_util.Rng.t ->
+  int array ->
+  Tivaware_meridian.Overlay.t
+(** TIV-aware overlay builder whose alert ratios are probed through the
+    measurement plane (engine must be matrix-backed). *)
+
 val meridian_fallback_tiv_aware :
   Tivaware_delay_space.Matrix.t ->
   predicted:(int -> int -> float) ->
@@ -71,3 +92,12 @@ val meridian_fallback_tiv_aware :
   Tivaware_meridian.Query.fallback
 (** Query-restart fallback, shaped for {!Experiment.run_meridian}'s
     [?fallback]. *)
+
+val meridian_fallback_tiv_aware_engine :
+  Tivaware_measure.Engine.t ->
+  predicted:(int -> int -> float) ->
+  ?ts:float ->
+  unit ->
+  Tivaware_meridian.Overlay.t ->
+  Tivaware_meridian.Query.fallback
+(** Measurement-plane variant of {!meridian_fallback_tiv_aware}. *)

@@ -1,0 +1,67 @@
+type config = {
+  node_capacity : float;
+  node_rate : float;
+  global_capacity : float;
+  global_rate : float;
+}
+
+let unlimited =
+  {
+    node_capacity = infinity;
+    node_rate = infinity;
+    global_capacity = infinity;
+    global_rate = infinity;
+  }
+
+let per_node ~capacity ~rate =
+  { unlimited with node_capacity = capacity; node_rate = rate }
+
+type bucket = { mutable tokens : float; mutable refilled : float }
+
+type t = {
+  config : config;
+  nodes : bucket array;
+  global : bucket;
+}
+
+let create config ~n =
+  if n < 0 then invalid_arg "Budget.create: negative node count";
+  {
+    config;
+    nodes =
+      Array.init n (fun _ -> { tokens = config.node_capacity; refilled = 0. });
+    global = { tokens = config.global_capacity; refilled = 0. };
+  }
+
+let config t = t.config
+
+let refill bucket ~capacity ~rate ~now =
+  if now > bucket.refilled then begin
+    if Float.is_finite capacity && Float.is_finite rate then
+      bucket.tokens <-
+        Float.min capacity (bucket.tokens +. (rate *. (now -. bucket.refilled)));
+    bucket.refilled <- now
+  end
+
+let node_bucket t ~now i =
+  let b = t.nodes.(i) in
+  refill b ~capacity:t.config.node_capacity ~rate:t.config.node_rate ~now;
+  b
+
+let global_bucket t ~now =
+  refill t.global ~capacity:t.config.global_capacity
+    ~rate:t.config.global_rate ~now;
+  t.global
+
+let try_take t ~now i =
+  let nb = node_bucket t ~now i in
+  let gb = global_bucket t ~now in
+  if nb.tokens >= 1. && gb.tokens >= 1. then begin
+    if Float.is_finite nb.tokens then nb.tokens <- nb.tokens -. 1.;
+    if Float.is_finite gb.tokens then gb.tokens <- gb.tokens -. 1.;
+    true
+  end
+  else false
+
+let tokens t ~now i = (node_bucket t ~now i).tokens
+let global_tokens t ~now = (global_bucket t ~now).tokens

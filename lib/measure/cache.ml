@@ -1,0 +1,33 @@
+type entry = { value : float; measured : float }
+
+type t = {
+  ttl : float;
+  entries : (int * int, entry) Hashtbl.t;
+}
+
+let create ~ttl =
+  if not (ttl > 0.) then invalid_arg "Cache.create: ttl must be positive";
+  { ttl; entries = Hashtbl.create 256 }
+
+let ttl t = t.ttl
+
+type lookup = Hit of float | Stale | Miss
+
+let key i j = if i < j then (i, j) else (j, i)
+
+let find t ~now i j =
+  match Hashtbl.find_opt t.entries (key i j) with
+  | None -> Miss
+  | Some e ->
+    if now -. e.measured <= t.ttl then Hit e.value
+    else begin
+      Hashtbl.remove t.entries (key i j);
+      Stale
+    end
+
+let store t ~now i j value =
+  if not (Float.is_nan value) then
+    Hashtbl.replace t.entries (key i j) { value; measured = now }
+
+let length t = Hashtbl.length t.entries
+let clear t = Hashtbl.reset t.entries

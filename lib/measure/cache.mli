@@ -1,0 +1,31 @@
+(** TTL'd RTT cache (the IDMS-style "delay service" mode).
+
+    A delay {e service} amortizes probes by answering repeat lookups
+    from a cache at the price of staleness; on-demand probing pays for
+    every lookup but is never stale.  Entries are keyed on the
+    unordered pair and carry the logical time they were measured; a
+    lookup at [now] past the TTL evicts the entry and reports it
+    {!Stale} so the caller re-probes. *)
+
+type t
+
+val create : ttl:float -> t
+(** [ttl] in logical seconds; must be positive. *)
+
+val ttl : t -> float
+
+type lookup =
+  | Hit of float  (** fresh entry *)
+  | Stale  (** entry existed but expired; evicted *)
+  | Miss  (** no entry *)
+
+val find : t -> now:float -> int -> int -> lookup
+
+val store : t -> now:float -> int -> int -> float -> unit
+(** Records a measurement at [now].  [nan] values are not cached (a
+    failed probe is not an answer a service would retain). *)
+
+val length : t -> int
+(** Live entries, expired ones included until touched. *)
+
+val clear : t -> unit

@@ -1,0 +1,152 @@
+module Rng = Tivaware_util.Rng
+
+type config = {
+  fault : Fault.config;
+  budget : Budget.config option;
+  cache_ttl : float option;
+  seed : int;
+}
+
+let default_config =
+  { fault = Fault.default; budget = None; cache_ttl = None; seed = 0 }
+
+type t = {
+  config : config;
+  oracle : Oracle.t;
+  fault : Fault.t;
+  budget : Budget.t option;
+  cache : Cache.t option;
+  stats : Probe_stats.t;
+  mutable clock : float;
+}
+
+let create ?(config = default_config) oracle =
+  let n = Oracle.size oracle in
+  {
+    config;
+    oracle;
+    fault = Fault.create ~config:config.fault (Rng.create config.seed) ~n;
+    budget = Option.map (fun b -> Budget.create b ~n) config.budget;
+    cache = Option.map (fun ttl -> Cache.create ~ttl) config.cache_ttl;
+    stats = Probe_stats.create ();
+    clock = 0.;
+  }
+
+let of_matrix ?config m = create ?config (Oracle.of_matrix m)
+
+let config t = t.config
+let oracle t = t.oracle
+let size t = Oracle.size t.oracle
+let matrix_exn t = Oracle.matrix_exn t.oracle
+let fault t = t.fault
+
+let now t = t.clock
+
+let advance t dt =
+  if dt < 0. then invalid_arg "Engine.advance: negative step";
+  t.clock <- t.clock +. dt
+
+let advance_to t time = if time > t.clock then t.clock <- time
+
+type outcome =
+  | Rtt of float
+  | Cached of float
+  | Denied
+  | Down
+  | Lost
+  | Unmeasured
+
+(* One probe after the cache has missed: budget, then the attempt
+   loop.  Every wire attempt is charged and counted, including the
+   attempts burned against a node in outage (the prober cannot know the
+   peer is down until nothing comes back). *)
+let probe_uncached t label i j =
+  let st = t.stats in
+  let admitted =
+    match t.budget with
+    | None -> true
+    | Some b -> Budget.try_take b ~now:t.clock i
+  in
+  if not admitted then begin
+    st.Probe_stats.denied <- st.Probe_stats.denied + 1;
+    Denied
+  end
+  else begin
+    let endpoint_down = Fault.node_down t.fault i || Fault.node_down t.fault j in
+    let retries = (Fault.config t.fault).Fault.retries in
+    let rec attempt k =
+      if k > 0 then st.Probe_stats.retried <- st.Probe_stats.retried + 1;
+      (* Re-admission for retransmissions; the first attempt was charged
+         by the [admitted] check above. *)
+      let admitted =
+        k = 0
+        ||
+        match t.budget with
+        | None -> true
+        | Some b -> Budget.try_take b ~now:t.clock i
+      in
+      if not admitted then begin
+        st.Probe_stats.denied <- st.Probe_stats.denied + 1;
+        Denied
+      end
+      else begin
+        Probe_stats.record_issue st label;
+        if endpoint_down then begin
+          st.Probe_stats.lost <- st.Probe_stats.lost + 1;
+          if k < retries then attempt (k + 1)
+          else begin
+            st.Probe_stats.down <- st.Probe_stats.down + 1;
+            Down
+          end
+        end
+        else begin
+          let true_rtt = Oracle.query t.oracle i j in
+          if Float.is_nan true_rtt then begin
+            st.Probe_stats.unmeasured <- st.Probe_stats.unmeasured + 1;
+            Unmeasured
+          end
+          else begin
+            match Fault.attempt t.fault ~rtt:true_rtt with
+            | Fault.Delivered sample ->
+              Option.iter
+                (fun c -> Cache.store c ~now:t.clock i j sample)
+                t.cache;
+              Rtt sample
+            | Fault.Dropped ->
+              st.Probe_stats.lost <- st.Probe_stats.lost + 1;
+              if k < retries then attempt (k + 1)
+              else begin
+                st.Probe_stats.failed <- st.Probe_stats.failed + 1;
+                Lost
+              end
+          end
+        end
+      end
+    in
+    attempt 0
+  end
+
+let probe ?label t i j =
+  let st = t.stats in
+  st.Probe_stats.requests <- st.Probe_stats.requests + 1;
+  match t.cache with
+  | None -> probe_uncached t label i j
+  | Some c -> (
+    match Cache.find c ~now:t.clock i j with
+    | Cache.Hit v ->
+      st.Probe_stats.hits <- st.Probe_stats.hits + 1;
+      Cached v
+    | Cache.Stale ->
+      st.Probe_stats.stale <- st.Probe_stats.stale + 1;
+      probe_uncached t label i j
+    | Cache.Miss ->
+      st.Probe_stats.misses <- st.Probe_stats.misses + 1;
+      probe_uncached t label i j)
+
+let rtt ?label t i j =
+  match probe ?label t i j with
+  | Rtt v | Cached v -> v
+  | Denied | Down | Lost | Unmeasured -> nan
+
+let stats t = t.stats
+let reset_stats t = Probe_stats.reset t.stats

@@ -1,0 +1,86 @@
+(** The probe engine: every delay lookup, mediated.
+
+    Protocol layers (Vivaldi sampling, Meridian's recursive probing,
+    the TIV alert) historically read the delay matrix as a free,
+    instantaneous, lossless oracle.  The engine interposes the
+    measurement plane between them and the {!Oracle}:
+
+    + a TTL'd RTT {!Cache} (service mode) or none (on-demand mode),
+    + per-node and engine-wide token-bucket {!Budget}s,
+    + seeded {!Fault} injection (loss, jitter, outages) with a retry
+      policy,
+    + {!Probe_stats} accounting, attributable per protocol label.
+
+    The default configuration is the exact oracle model: no cache, no
+    budget, no faults — a probe is then a plain matrix lookup and the
+    generator is never consulted, so existing experiments reproduce
+    their seed results bit-for-bit when rewired through an engine.
+
+    Time is logical (seconds).  Synchronous drivers advance it one
+    second per round; event-driven drivers sync it to the simulator
+    clock.  Budgets refill and cache entries age against this clock. *)
+
+type config = {
+  fault : Fault.config;
+  budget : Budget.config option;  (** [None] = unlimited *)
+  cache_ttl : float option;  (** [None] = on-demand (no cache) *)
+  seed : int;  (** fault-injection stream seed *)
+}
+
+val default_config : config
+(** Oracle model: no faults, no budget, no cache, seed 0. *)
+
+type t
+
+val create : ?config:config -> Oracle.t -> t
+
+val of_matrix : ?config:config -> Tivaware_delay_space.Matrix.t -> t
+
+val config : t -> config
+val oracle : t -> Oracle.t
+val size : t -> int
+
+val matrix_exn : t -> Tivaware_delay_space.Matrix.t
+(** Ground-truth matrix of a matrix-backed oracle (for evaluation
+    code); raises [Invalid_argument] otherwise. *)
+
+val fault : t -> Fault.t
+(** The live fault injector (scenario hooks: {!Fault.set_down}). *)
+
+(** {2 Logical clock} *)
+
+val now : t -> float
+val advance : t -> float -> unit
+(** Advance the clock by a (non-negative) number of seconds. *)
+
+val advance_to : t -> float -> unit
+(** Monotonic absolute set: earlier times are ignored. *)
+
+(** {2 Probing} *)
+
+type outcome =
+  | Rtt of float  (** fresh measurement (jitter applied) *)
+  | Cached of float  (** served from the cache; no probe issued *)
+  | Denied  (** refused by the probe budget *)
+  | Down  (** an endpoint is in outage; attempts burned *)
+  | Lost  (** every attempt dropped *)
+  | Unmeasured  (** the oracle has no measurement for the pair *)
+
+val probe : ?label:string -> t -> int -> int -> outcome
+(** [probe t i j]: node [i] measures its RTT to [j].  Full path:
+    cache lookup, then budget check ([Denied] costs nothing further),
+    then up to [1 + retries] wire attempts through the fault injector.
+    Successful measurements are cached (service mode).  The budget is
+    charged once per wire attempt, against node [i] and the global
+    bucket. *)
+
+val rtt : ?label:string -> t -> int -> int -> float
+(** {!probe} collapsed to a float: the measured RTT, or [nan] on
+    [Denied | Down | Lost | Unmeasured] — exactly the shape protocol
+    code expects from [Matrix.get], so callers fall back on [nan]. *)
+
+val stats : t -> Probe_stats.t
+(** Live counters (mutated by every probe).  Use
+    {!Probe_stats.snapshot} to diff around a phase. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,52 @@
+module Rng = Tivaware_util.Rng
+
+type config = {
+  loss : float;
+  jitter : float;
+  outage : float;
+  retries : int;
+}
+
+let default = { loss = 0.; jitter = 0.; outage = 0.; retries = 0 }
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  down : (int, unit) Hashtbl.t;
+}
+
+let create ?(config = default) rng ~n =
+  if config.loss < 0. || config.loss >= 1. then
+    invalid_arg "Fault.create: loss must be in [0, 1)";
+  if config.jitter < 0. || config.jitter >= 1. then
+    invalid_arg "Fault.create: jitter must be in [0, 1)";
+  if config.outage < 0. || config.outage > 1. then
+    invalid_arg "Fault.create: outage must be in [0, 1]";
+  if config.retries < 0 then invalid_arg "Fault.create: negative retries";
+  let down = Hashtbl.create 16 in
+  let k = int_of_float (config.outage *. float_of_int n) in
+  if k > 0 then
+    Array.iter
+      (fun i -> Hashtbl.replace down i ())
+      (Rng.sample_indices rng ~n ~k);
+  { config; rng; down }
+
+let config t = t.config
+let node_down t i = Hashtbl.mem t.down i
+
+let set_down t i down =
+  if down then Hashtbl.replace t.down i () else Hashtbl.remove t.down i
+
+type attempt = Delivered of float | Dropped
+
+let attempt t ~rtt =
+  let c = t.config in
+  if c.loss > 0. && Rng.bernoulli t.rng c.loss then Dropped
+  else begin
+    let sample =
+      if c.jitter > 0. then
+        rtt *. Rng.uniform t.rng (1. -. c.jitter) (1. +. c.jitter)
+      else rtt
+    in
+    Delivered sample
+  end

@@ -1,0 +1,44 @@
+(** Deterministic, seeded fault injection for probes.
+
+    Models the three failure modes that separate real measurement from
+    an oracle (cf. TimeWeaver's opportunistic, noisy measurements):
+    per-attempt {e loss}, multiplicative {e jitter} on the measured
+    RTT, and whole-node {e outages}.  All randomness is drawn from the
+    injector's own generator, so a fixed seed and probe sequence
+    reproduce the exact same faults — and a zero-fault config never
+    consults the generator, keeping fault-free runs bit-identical to
+    the oracle path. *)
+
+type config = {
+  loss : float;  (** per-attempt loss probability in [0, 1) *)
+  jitter : float;
+      (** multiplicative noise: measured RTT is
+          [true_rtt * uniform(1 - jitter, 1 + jitter)] *)
+  outage : float;  (** fraction of nodes down for the injector's lifetime *)
+  retries : int;  (** extra attempts after a lost probe (>= 0) *)
+}
+
+val default : config
+(** No loss, no jitter, no outages, no retries — the oracle model. *)
+
+type t
+
+val create : ?config:config -> Tivaware_util.Rng.t -> n:int -> t
+(** The outage set ([floor (outage * n)] distinct nodes) is drawn
+    immediately so it is fixed for the injector's lifetime. *)
+
+val config : t -> config
+
+val node_down : t -> int -> bool
+
+val set_down : t -> int -> bool -> unit
+(** Scenario hook: force a node in or out of outage. *)
+
+type attempt =
+  | Delivered of float  (** jittered RTT sample *)
+  | Dropped
+
+val attempt : t -> rtt:float -> attempt
+(** One wire attempt for a probe whose true RTT is [rtt].  Draws loss
+    first, then jitter, so loss and jitter streams stay aligned across
+    configs with equal loss. *)

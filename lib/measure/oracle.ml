@@ -1,0 +1,21 @@
+module Matrix = Tivaware_delay_space.Matrix
+
+type t = {
+  size : int;
+  lookup : int -> int -> float;
+  backing : Matrix.t option;
+}
+
+let of_matrix m =
+  { size = Matrix.size m; lookup = Matrix.get m; backing = Some m }
+
+let of_fn ~size f = { size; lookup = f; backing = None }
+
+let size t = t.size
+let query t i j = t.lookup i j
+let matrix t = t.backing
+
+let matrix_exn t =
+  match t.backing with
+  | Some m -> m
+  | None -> invalid_arg "Oracle.matrix_exn: function-backed oracle"

@@ -1,4 +1,5 @@
 module Matrix = Tivaware_delay_space.Matrix
+module Engine = Tivaware_measure.Engine
 
 type termination = Threshold | Any_improvement
 
@@ -15,7 +16,7 @@ type fallback =
   current:int -> target:int -> measured:float -> Overlay.member list
 
 type probe_state = {
-  matrix : Matrix.t;
+  engine : Engine.t;
   target : int;
   probe_cache : (int, float) Hashtbl.t;
   mutable probes : int;
@@ -23,9 +24,9 @@ type probe_state = {
   mutable best_delay : float;
 }
 
-let make_probe_state matrix ~target =
+let make_probe_state_engine engine ~target =
   {
-    matrix;
+    engine;
     target;
     probe_cache = Hashtbl.create 64;
     probes = 0;
@@ -33,17 +34,22 @@ let make_probe_state matrix ~target =
     best_delay = infinity;
   }
 
+let make_probe_state matrix ~target =
+  make_probe_state_engine (Engine.of_matrix matrix) ~target
+
 let probe_cached st node = Hashtbl.mem st.probe_cache node
 let probe_count st = st.probes
 let best_seen st = (st.best, st.best_delay)
 
-(* One online probe: node measures its delay to the target.  Cached per
-   query; [nan] marks an unmeasurable pair. *)
+(* One online probe: node measures its delay to the target through the
+   measurement plane.  Cached per query; [nan] marks a pair that is
+   unmeasurable — or whose probe was lost, denied or timed out, in
+   which case the node stays unusable for the rest of this query. *)
 let probe st node =
   match Hashtbl.find_opt st.probe_cache node with
   | Some d -> d
   | None ->
-    let d = Matrix.get st.matrix node st.target in
+    let d = Engine.rtt ~label:"meridian" st.engine node st.target in
     st.probes <- st.probes + 1;
     Hashtbl.replace st.probe_cache node d;
     if (not (Float.is_nan d)) && d < st.best_delay then begin
@@ -92,15 +98,27 @@ let accepts termination ~beta ~d ~candidate_delay =
   | Threshold -> candidate_delay <= beta *. d
   | Any_improvement -> candidate_delay < d
 
-let closest ?(termination = Threshold) ?fallback overlay matrix ~start ~target =
+let closest_engine ?(termination = Threshold) ?fallback overlay engine ~start
+    ~target =
   if not (Overlay.is_meridian overlay start) then
     invalid_arg "Query.closest: start is not a Meridian node";
   let beta = (Overlay.config overlay).Ring.beta in
-  let st = make_probe_state matrix ~target in
+  let st = make_probe_state_engine engine ~target in
   st.best <- start;
   let d0 = probe st start in
   if Float.is_nan d0 then
-    invalid_arg "Query.closest: no measurement between start and target";
+    (* The start node could not measure the target (missing pair, lost
+       probe, outage or budget denial): the query dies at the first
+       hop.  Callers detect the [nan] delay and fall back. *)
+    {
+      chosen = start;
+      chosen_delay = nan;
+      probes = st.probes;
+      hops = 0;
+      restarts = 0;
+      path = [ start ];
+    }
+  else begin
   let visited = Hashtbl.create 16 in
   let restarts = ref 0 in
   let rec loop current d path hops =
@@ -150,6 +168,16 @@ let closest ?(termination = Threshold) ?fallback overlay matrix ~start ~target =
     restarts = !restarts;
     path = List.rev path;
   }
+  end
+
+let closest ?termination ?fallback overlay matrix ~start ~target =
+  if not (Overlay.is_meridian overlay start) then
+    invalid_arg "Query.closest: start is not a Meridian node";
+  if Float.is_nan (Matrix.get matrix start target) then
+    invalid_arg "Query.closest: no measurement between start and target";
+  (* Oracle mode: a throwaway default engine is a plain matrix view. *)
+  closest_engine ?termination ?fallback overlay (Engine.of_matrix matrix)
+    ~start ~target
 
 (* Max-norm delay of [node] to the target set; [nan] if any measurement
    is missing. *)
@@ -163,7 +191,8 @@ let max_norm matrix node targets =
       end)
     0. targets
 
-let closest_multi ?(termination = Threshold) overlay matrix ~start ~targets =
+let closest_multi_engine ?(termination = Threshold) overlay engine ~start
+    ~targets =
   if targets = [] then invalid_arg "Query.closest_multi: no targets";
   if not (Overlay.is_meridian overlay start) then
     invalid_arg "Query.closest_multi: start is not a Meridian node";
@@ -171,19 +200,37 @@ let closest_multi ?(termination = Threshold) overlay matrix ~start ~targets =
   let probes = ref 0 in
   let cache = Hashtbl.create 64 in
   (* One "probe" per (node, target) measurement, cached as in the
-     single-target query. *)
+     single-target query; each goes through the measurement plane. *)
   let measure node =
     match Hashtbl.find_opt cache node with
     | Some d -> d
     | None ->
-      List.iter (fun t -> if t <> node then incr probes) targets;
-      let d = max_norm matrix node targets in
+      let d =
+        List.fold_left
+          (fun acc t ->
+            if node = t then acc
+            else begin
+              incr probes;
+              let d = Engine.rtt ~label:"meridian" engine node t in
+              if Float.is_nan d || Float.is_nan acc then nan
+              else Float.max acc d
+            end)
+          0. targets
+      in
       Hashtbl.replace cache node d;
       d
   in
   let d0 = measure start in
   if Float.is_nan d0 then
-    invalid_arg "Query.closest_multi: start cannot measure every target";
+    {
+      chosen = start;
+      chosen_delay = nan;
+      probes = !probes;
+      hops = 0;
+      restarts = 0;
+      path = [ start ];
+    }
+  else begin
   let best = ref start and best_delay = ref d0 in
   let consider node d =
     if (not (Float.is_nan d)) && d < !best_delay then begin
@@ -226,6 +273,16 @@ let closest_multi ?(termination = Threshold) overlay matrix ~start ~targets =
     restarts = 0;
     path = List.rev path;
   }
+  end
+
+let closest_multi ?termination overlay matrix ~start ~targets =
+  if targets = [] then invalid_arg "Query.closest_multi: no targets";
+  if not (Overlay.is_meridian overlay start) then
+    invalid_arg "Query.closest_multi: start is not a Meridian node";
+  if Float.is_nan (max_norm matrix start targets) then
+    invalid_arg "Query.closest_multi: start cannot measure every target";
+  closest_multi_engine ?termination overlay (Engine.of_matrix matrix) ~start
+    ~targets
 
 let optimal_multi overlay matrix ~targets =
   if targets = [] then invalid_arg "Query.optimal_multi: no targets";

@@ -46,7 +46,23 @@ val closest :
 (** [closest overlay matrix ~start ~target].  [start] must be a Meridian
     node and [target] must have a measured delay to it; otherwise
     [Invalid_argument].  Default termination is [Threshold] with the
-    overlay's [beta]. *)
+    overlay's [beta].  Oracle mode: probes are free matrix lookups
+    (a throwaway default {!Tivaware_measure.Engine} under the hood). *)
+
+val closest_engine :
+  ?termination:termination ->
+  ?fallback:fallback ->
+  Overlay.t ->
+  Tivaware_measure.Engine.t ->
+  start:int ->
+  target:int ->
+  outcome
+(** As {!closest}, but every probe pays the measurement plane: loss,
+    jitter, outages and budget denials make nodes unmeasurable for the
+    rest of the query.  When the start node's own probe of the target
+    fails the query returns immediately with [chosen_delay = nan]
+    (instead of raising) so drivers under injected faults degrade
+    gracefully. *)
 
 val optimal :
   Overlay.t -> Tivaware_delay_space.Matrix.t -> target:int -> (int * float) option
@@ -73,6 +89,17 @@ val closest_multi :
     Raises [Invalid_argument] on an empty target list, a non-Meridian
     start, or when [start] cannot measure every target. *)
 
+val closest_multi_engine :
+  ?termination:termination ->
+  Overlay.t ->
+  Tivaware_measure.Engine.t ->
+  start:int ->
+  targets:int list ->
+  outcome
+(** Measurement-plane variant of {!closest_multi}; a failed probe to
+    any target makes the probing node ineligible, and a failed start
+    measurement returns [chosen_delay = nan] instead of raising. *)
+
 val optimal_multi :
   Overlay.t -> Tivaware_delay_space.Matrix.t -> targets:int list -> (int * float) option
 (** Brute-force best max-norm participant. *)
@@ -85,6 +112,10 @@ val optimal_multi :
 type probe_state
 
 val make_probe_state : Tivaware_delay_space.Matrix.t -> target:int -> probe_state
+(** Oracle mode (wraps the matrix in a default engine). *)
+
+val make_probe_state_engine :
+  Tivaware_measure.Engine.t -> target:int -> probe_state
 
 val probe : probe_state -> int -> float
 (** One online probe from a node to the target: counted once per query,

@@ -30,7 +30,21 @@ val placement :
   int -> int -> float -> (int * float) list
 (** Dual-placement hook for {!Overlay.build}'s [?placement]: the first
     entry represents the measured delay, the second (when the edge is
-    alerted and the rings differ) the predicted delay. *)
+    alerted and the rings differ) the predicted delay.  Oracle mode:
+    the ratio's measured delay is a free matrix lookup. *)
+
+val placement_engine :
+  Ring.config ->
+  predicted:(int -> int -> float) ->
+  engine:Tivaware_measure.Engine.t ->
+  ?ts:float ->
+  ?tl:float ->
+  unit ->
+  int -> int -> float -> (int * float) list
+(** As {!placement}, but the alert ratio's measured delay is probed
+    through the measurement plane (label ["tiv-aware"]): a failed probe
+    suppresses the alert and the member is placed by its measured delay
+    only. *)
 
 val fallback :
   Overlay.t ->
@@ -40,3 +54,13 @@ val fallback :
   unit ->
   Query.fallback
 (** Query-restart hook for {!Query.closest}'s [?fallback]. *)
+
+val fallback_engine :
+  Overlay.t ->
+  predicted:(int -> int -> float) ->
+  engine:Tivaware_measure.Engine.t ->
+  ?ts:float ->
+  unit ->
+  Query.fallback
+(** As {!fallback}, probing the alert ratio through the measurement
+    plane; a failed probe means no restart. *)

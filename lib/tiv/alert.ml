@@ -1,9 +1,21 @@
 module Matrix = Tivaware_delay_space.Matrix
+module Engine = Tivaware_measure.Engine
 
 let ratio_matrix ~measured ~predicted =
   Matrix.map
     (fun i j d -> if d < 1e-9 then nan else predicted i j /. d)
     measured
+
+(* Measurement-plane ratio matrix: the measured delay of every known
+   edge is re-probed through the engine, so lost probes leave the edge
+   unalertable and jitter perturbs the ratio. *)
+let ratio_matrix_engine ~engine ~predicted =
+  let truth = Engine.matrix_exn engine in
+  Matrix.map
+    (fun i j _ ->
+      let d = Engine.rtt ~label:"alert" engine i j in
+      if Float.is_nan d || d < 1e-9 then nan else predicted i j /. d)
+    truth
 
 let ratio_severity_pairs ~ratios ~severity =
   let out = ref [] in

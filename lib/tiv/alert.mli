@@ -17,6 +17,15 @@ val ratio_matrix :
 (** Prediction ratio for every present edge.  Edges with measured delay
     below 1e-9 ms are left missing to avoid division blowup. *)
 
+val ratio_matrix_engine :
+  engine:Tivaware_measure.Engine.t ->
+  predicted:(int -> int -> float) ->
+  Tivaware_delay_space.Matrix.t
+(** As {!ratio_matrix}, but each edge's measured delay is obtained by a
+    probe through the measurement plane (label ["alert"]): a lost or
+    denied probe leaves the edge's ratio missing (no alert possible),
+    and jitter perturbs the ratio.  The engine must be matrix-backed. *)
+
 val ratio_severity_pairs :
   ratios:Tivaware_delay_space.Matrix.t ->
   severity:Tivaware_delay_space.Matrix.t ->

@@ -34,3 +34,7 @@ let evaluate ~ratios ~severity ~worst_fraction ~thresholds =
            else float_of_int hits /. float_of_int worst_count);
       })
     thresholds
+
+let evaluate_engine ~engine ~predicted ~severity ~worst_fraction ~thresholds =
+  let ratios = Alert.ratio_matrix_engine ~engine ~predicted in
+  evaluate ~ratios ~severity ~worst_fraction ~thresholds

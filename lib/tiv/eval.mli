@@ -21,5 +21,17 @@ val evaluate :
   thresholds:float list ->
   point list
 
+val evaluate_engine :
+  engine:Tivaware_measure.Engine.t ->
+  predicted:(int -> int -> float) ->
+  severity:Tivaware_delay_space.Matrix.t ->
+  worst_fraction:float ->
+  thresholds:float list ->
+  point list
+(** As {!evaluate}, but the prediction-ratio matrix is measured through
+    the probe engine ({!Alert.ratio_matrix_engine}), so alert precision
+    reflects measurement loss and jitter rather than oracle delays.
+    Severity stays ground truth. *)
+
 val default_thresholds : float list
 (** 0.1, 0.2, ..., 1.0 as swept in the paper's figures. *)

@@ -1,6 +1,7 @@
 module Rng = Tivaware_util.Rng
 module Sim = Tivaware_eventsim.Sim
 module Matrix = Tivaware_delay_space.Matrix
+module Engine = Tivaware_measure.Engine
 
 type config = {
   probe_period : float;
@@ -17,7 +18,7 @@ type stats = {
 let run ?(config = default_config) sim system ~duration =
   assert (config.probe_period > 0. && config.jitter >= 0. && config.jitter < 1.);
   let n = System.size system in
-  let m = System.matrix system in
+  let engine = System.engine system in
   let rng = System.rng system in
   let deadline = Sim.now sim +. duration in
   let sent = ref 0 and completed = ref 0 in
@@ -27,19 +28,25 @@ let run ?(config = default_config) sim system ~duration =
   in
   let rec probe_loop node () =
     if Sim.now sim < deadline then begin
+      Engine.advance_to engine (Sim.now sim);
       let neighbors = System.neighbors system node in
       if Array.length neighbors > 0 then begin
         let peer = Rng.choice rng neighbors in
-        let rtt = Matrix.get m node peer in
-        if not (Float.is_nan rtt) then begin
+        match Engine.probe ~label:"vivaldi" engine node peer with
+        | Engine.Rtt rtt | Engine.Cached rtt ->
           incr sent;
-          (* The response arrives one RTT later (matrix is in ms). *)
+          (* The response arrives one RTT later (delays are in ms);
+             the jittered sample that timed the response is the one
+             applied to the coordinate. *)
           Sim.schedule_after sim (rtt /. 1000.) (fun () ->
               if Sim.now sim <= deadline then begin
-                System.observe system node peer;
+                System.observe_rtt system node peer rtt;
                 incr completed
               end)
-        end
+        | Engine.Lost | Engine.Down ->
+          (* Sent on the wire, no response ever comes back. *)
+          incr sent
+        | Engine.Denied | Engine.Unmeasured -> ()
       end;
       Sim.schedule_after sim (next_gap ()) (probe_loop node)
     end
@@ -71,7 +78,7 @@ let run_with_churn ?(config = default_config) ?(churn = default_churn) sim
     system ~duration =
   assert (churn.mean_uptime > 0. && churn.mean_downtime > 0.);
   let n = System.size system in
-  let m = System.matrix system in
+  let engine = System.engine system in
   let rng = System.rng system in
   let deadline = Sim.now sim +. duration in
   let alive = Array.make n true in
@@ -103,12 +110,13 @@ let run_with_churn ?(config = default_config) ?(churn = default_churn) sim
   in
   let rec probe_loop node () =
     if Sim.now sim < deadline then begin
+      Engine.advance_to engine (Sim.now sim);
       if alive.(node) then begin
         let neighbors = System.neighbors system node in
         if Array.length neighbors > 0 then begin
           let peer = Rng.choice rng neighbors in
-          let rtt = Matrix.get m node peer in
-          if not (Float.is_nan rtt) then begin
+          match Engine.probe ~label:"vivaldi" engine node peer with
+          | Engine.Rtt rtt | Engine.Cached rtt ->
             incr sent;
             if not alive.(peer) then incr lost
             else
@@ -116,11 +124,15 @@ let run_with_churn ?(config = default_config) ?(churn = default_churn) sim
                   (* Both ends must still be up when the response lands. *)
                   if Sim.now sim <= deadline && alive.(node) && alive.(peer)
                   then begin
-                    System.observe system node peer;
+                    System.observe_rtt system node peer rtt;
                     incr completed
                   end
                   else incr lost)
-          end
+          | Engine.Lost | Engine.Down ->
+            (* Dropped by the measurement plane, not by churn. *)
+            incr sent;
+            incr lost
+          | Engine.Denied | Engine.Unmeasured -> ()
         end
       end;
       Sim.schedule_after sim (next_gap ()) (probe_loop node)

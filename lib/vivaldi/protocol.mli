@@ -35,7 +35,12 @@ val run :
     runs the simulator for [duration] virtual seconds (RTTs from the
     system's delay matrix are in milliseconds and converted).  The
     simulator clock advances by [duration]; calling again continues
-    the protocol. *)
+    the protocol.
+
+    Probes go through the system's measurement-plane engine, whose
+    logical clock is kept in sync with the simulator: a probe the
+    engine drops ([Lost]/[Down]) counts as sent but never completes; a
+    budget-denied or unmeasurable probe is not sent at all. *)
 
 (** {2 Churn}
 

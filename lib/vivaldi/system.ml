@@ -2,6 +2,7 @@ module Rng = Tivaware_util.Rng
 module Vec = Tivaware_util.Vec
 module Welford = Tivaware_util.Welford
 module Matrix = Tivaware_delay_space.Matrix
+module Engine = Tivaware_measure.Engine
 
 type timestep =
   | Constant of float
@@ -26,7 +27,8 @@ let min_height = 0.1
 
 type t = {
   config : config;
-  matrix : Matrix.t;
+  matrix : Matrix.t;  (* ground truth, for evaluation only *)
+  engine : Engine.t;  (* every observation probes through here *)
   rng : Rng.t;
   coords : Vec.t array;
   errors : float array;
@@ -41,7 +43,8 @@ let random_neighbors rng n self count =
   (* Indices in [0, n-1) skipping self. *)
   Array.map (fun p -> if p >= self then p + 1 else p) picks
 
-let create ?(config = default_config) rng matrix =
+let create_with_engine ?(config = default_config) rng engine =
+  let matrix = Engine.matrix_exn engine in
   let n = Matrix.size matrix in
   assert (n >= 2);
   let rng = Rng.split rng in
@@ -56,6 +59,7 @@ let create ?(config = default_config) rng matrix =
   {
     config;
     matrix;
+    engine;
     rng;
     (* Small random initial coordinates break symmetry without starting
        far from the origin. *)
@@ -67,9 +71,13 @@ let create ?(config = default_config) rng matrix =
     rounds = 0;
   }
 
+let create ?config rng matrix =
+  create_with_engine ?config rng (Engine.of_matrix matrix)
+
 let config t = t.config
 let size t = Array.length t.coords
 let matrix t = t.matrix
+let engine t = t.engine
 let rng t = t.rng
 let coord t i = Vec.copy t.coords.(i)
 let error_estimate t i = t.errors.(i)
@@ -113,8 +121,7 @@ let neighbor_edges t =
     t.neighbor_sets;
   Hashtbl.fold (fun k () acc -> k :: acc) seen []
 
-let observe t i j =
-  let rtt = Matrix.get t.matrix i j in
+let observe_rtt t i j rtt =
   if not (Float.is_nan rtt) then begin
     let xi = t.coords.(i) and xj = t.coords.(j) in
     let dim = t.config.dim in
@@ -161,6 +168,8 @@ let observe t i j =
     Welford.add t.movement (sqrt !moved)
   end
 
+let observe t i j = observe_rtt t i j (Engine.rtt ~label:"vivaldi" t.engine i j)
+
 let reset_node t i =
   let storage_dim = t.config.dim + if t.config.height then 1 else 0 in
   let v = Array.init storage_dim (fun _ -> Rng.uniform t.rng (-1.) 1.) in
@@ -176,6 +185,9 @@ let round t =
       let ns = t.neighbor_sets.(i) in
       if Array.length ns > 0 then observe t i (Rng.choice t.rng ns))
     order;
+  (* One synchronous round ≈ one virtual second of measurement-plane
+     time (budget refill, cache aging). *)
+  Engine.advance t.engine 1.;
   t.rounds <- t.rounds + 1
 
 let run t ~rounds =

@@ -33,11 +33,26 @@ type t
 val create : ?config:config -> Tivaware_util.Rng.t -> Tivaware_delay_space.Matrix.t -> t
 (** Fresh system over the delay matrix: random small initial
     coordinates, random neighbor sets (the system keeps its own
-    sub-generator; the passed one is advanced once). *)
+    sub-generator; the passed one is advanced once).  Measurements go
+    through a default (oracle-mode) {!Tivaware_measure.Engine}, so the
+    behavior is exactly the idealized model. *)
+
+val create_with_engine :
+  ?config:config -> Tivaware_util.Rng.t -> Tivaware_measure.Engine.t -> t
+(** As {!create}, but every observation probes through the given
+    engine: loss and budget denial skip the update, jitter perturbs
+    the sample.  The engine must be matrix-backed
+    ([Invalid_argument] otherwise); the matrix stays the ground truth
+    for {!absolute_errors} and friends. *)
 
 val config : t -> config
 val size : t -> int
 val matrix : t -> Tivaware_delay_space.Matrix.t
+
+val engine : t -> Tivaware_measure.Engine.t
+(** The measurement plane observations go through ({!create} installs
+    an oracle-mode engine; its {!Tivaware_measure.Probe_stats} still
+    account every probe). *)
 
 val rng : t -> Tivaware_util.Rng.t
 (** The system's private generator, for components (dynamic neighbor
@@ -66,9 +81,16 @@ val neighbor_edges : t -> (int * int) list
 (** All (node, neighbor) pairs, normalized to [i < j], deduplicated. *)
 
 val observe : t -> int -> int -> unit
-(** [observe t i j]: node [i] measures its delay to [j] and updates its
-    coordinate (and error estimate).  No-op when the measurement is
-    missing. *)
+(** [observe t i j]: node [i] probes its delay to [j] through the
+    engine and updates its coordinate (and error estimate).  No-op when
+    the probe fails (missing measurement, loss, outage, budget
+    denial). *)
+
+val observe_rtt : t -> int -> int -> float -> unit
+(** [observe_rtt t i j rtt] applies an already-measured sample (the
+    event-driven protocol probes the engine itself so the same sample
+    that timed the response updates the coordinate).  No-op on
+    [nan]. *)
 
 val reset_node : t -> int -> unit
 (** Re-initializes one node's coordinate (small random position, error

@@ -1,0 +1,363 @@
+(* Tests for the measurement plane: oracle, budgets, TTL cache, fault
+   injection, probe accounting, and the oracle-mode equivalence of the
+   rewired protocol layers. *)
+
+module Rng = Tivaware_util.Rng
+module Matrix = Tivaware_delay_space.Matrix
+module Euclidean = Tivaware_topology.Euclidean
+module Oracle = Tivaware_measure.Oracle
+module Budget = Tivaware_measure.Budget
+module Cache = Tivaware_measure.Cache
+module Fault = Tivaware_measure.Fault
+module Engine = Tivaware_measure.Engine
+module Probe_stats = Tivaware_measure.Probe_stats
+module System = Tivaware_vivaldi.System
+module Ring = Tivaware_meridian.Ring
+module Overlay = Tivaware_meridian.Overlay
+module Query = Tivaware_meridian.Query
+
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let checki = Alcotest.(check int)
+
+let euclidean_matrix seed n =
+  Euclidean.uniform_box (Rng.create seed) ~n ~dim:3 ~side_ms:300.
+
+let engine ?(fault = Fault.default) ?budget ?cache_ttl ?(seed = 7) m =
+  Engine.of_matrix
+    ~config:{ Engine.fault; budget; cache_ttl; seed }
+    m
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                              *)
+
+let test_oracle_matrix () =
+  let m = euclidean_matrix 1 20 in
+  let o = Oracle.of_matrix m in
+  checki "size" 20 (Oracle.size o);
+  checkf "lookup" (Matrix.get m 3 9) (Oracle.query o 3 9);
+  checkf "diagonal" 0. (Oracle.query o 4 4);
+  Alcotest.(check bool) "matrix recoverable" true (Oracle.matrix o = Some m)
+
+let test_oracle_fn () =
+  let o = Oracle.of_fn ~size:5 (fun i j -> float_of_int (i + j)) in
+  checkf "fn lookup" 7. (Oracle.query o 3 4);
+  Alcotest.check_raises "matrix_exn raises"
+    (Invalid_argument "Oracle.matrix_exn: function-backed oracle") (fun () ->
+      ignore (Oracle.matrix_exn o))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle-mode equivalence: the rewired layers reproduce seed results  *)
+
+let test_default_engine_is_oracle () =
+  let m = euclidean_matrix 2 30 in
+  let e = Engine.of_matrix m in
+  let rng = Rng.create 3 in
+  for _ = 1 to 200 do
+    let i = Rng.int rng 30 and j = Rng.int rng 30 in
+    checkf "rtt = Matrix.get" (Matrix.get m i j) (Engine.rtt e i j)
+  done;
+  let st = Engine.stats e in
+  checki "every request issued" st.Probe_stats.requests st.Probe_stats.issued;
+  checki "nothing lost" 0 st.Probe_stats.lost;
+  checki "nothing denied" 0 st.Probe_stats.denied
+
+let test_vivaldi_engine_path_identical () =
+  let m = euclidean_matrix 4 40 in
+  let a = System.create (Rng.create 5) m in
+  let b = System.create_with_engine (Rng.create 5) (Engine.of_matrix m) in
+  System.run a ~rounds:30;
+  System.run b ~rounds:30;
+  for i = 0 to 39 do
+    let ca = System.coord a i and cb = System.coord b i in
+    Array.iteri (fun d v -> checkf "coordinate equal" v cb.(d)) ca
+  done
+
+let test_meridian_engine_path_identical () =
+  let m = euclidean_matrix 6 60 in
+  let rng = Rng.create 7 in
+  let nodes = Rng.sample_indices rng ~n:60 ~k:30 in
+  let overlay =
+    Overlay.build (Rng.create 8) m Ring.default_config ~meridian_nodes:nodes
+  in
+  let target =
+    Array.to_list (Rng.permutation (Rng.create 9) 60)
+    |> List.find (fun i -> not (Overlay.is_meridian overlay i))
+  in
+  let start = nodes.(0) in
+  let a = Query.closest overlay m ~start ~target in
+  let b = Query.closest_engine overlay (Engine.of_matrix m) ~start ~target in
+  checki "same chosen" a.Query.chosen b.Query.chosen;
+  checkf "same delay" a.Query.chosen_delay b.Query.chosen_delay;
+  checki "same probes" a.Query.probes b.Query.probes;
+  checki "same hops" a.Query.hops b.Query.hops
+
+(* ------------------------------------------------------------------ *)
+(* Cache TTL                                                           *)
+
+let test_cache_ttl_expiry () =
+  let m = euclidean_matrix 10 20 in
+  let e = engine ~cache_ttl:10. m in
+  let d1 = Engine.rtt e 1 2 in
+  let st = Engine.stats e in
+  checki "first lookup misses" 1 st.Probe_stats.misses;
+  checki "first lookup issued" 1 st.Probe_stats.issued;
+  let d2 = Engine.rtt e 1 2 in
+  checkf "served from cache" d1 d2;
+  checki "hit recorded" 1 st.Probe_stats.hits;
+  checki "no extra probe" 1 st.Probe_stats.issued;
+  (* Symmetric key: the reverse direction hits too. *)
+  ignore (Engine.rtt e 2 1);
+  checki "reverse direction hits" 2 st.Probe_stats.hits;
+  Engine.advance e 10.5;
+  ignore (Engine.rtt e 1 2);
+  checki "expired entry is stale" 1 st.Probe_stats.stale;
+  checki "stale entry re-probed" 2 st.Probe_stats.issued;
+  (* The re-probe refreshed the entry at t=10.5. *)
+  ignore (Engine.rtt e 1 2);
+  checki "refreshed entry hits again" 3 st.Probe_stats.hits
+
+let test_cache_unit () =
+  let c = Cache.create ~ttl:5. in
+  Alcotest.(check bool) "miss on empty" true (Cache.find c ~now:0. 1 2 = Cache.Miss);
+  Cache.store c ~now:0. 1 2 42.;
+  Alcotest.(check bool) "hit fresh" true (Cache.find c ~now:4. 2 1 = Cache.Hit 42.);
+  Alcotest.(check bool) "hit at ttl boundary" true
+    (Cache.find c ~now:5. 1 2 = Cache.Hit 42.);
+  Alcotest.(check bool) "stale past ttl" true
+    (Cache.find c ~now:5.1 1 2 = Cache.Stale);
+  Alcotest.(check bool) "stale evicts" true (Cache.find c ~now:5.1 1 2 = Cache.Miss);
+  Cache.store c ~now:0. 3 4 nan;
+  Alcotest.(check bool) "nan not cached" true (Cache.find c ~now:0. 3 4 = Cache.Miss)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                             *)
+
+let test_budget_exhaustion_fallback () =
+  let m = euclidean_matrix 11 20 in
+  (* Capacity 2, no refill within the test window (rate refills only as
+     the clock advances, which we don't do here). *)
+  let e = engine ~budget:(Budget.per_node ~capacity:2. ~rate:1.) m in
+  let d1 = Engine.rtt e 0 1 and d2 = Engine.rtt e 0 2 in
+  Alcotest.(check bool) "first two admitted" true
+    (not (Float.is_nan d1) && not (Float.is_nan d2));
+  (* Third probe from node 0 is denied: the caller sees nan and falls
+     back, exactly like a missing measurement. *)
+  Alcotest.(check bool) "third denied => nan" true (Float.is_nan (Engine.rtt e 0 3));
+  Alcotest.(check bool) "probe outcome is Denied" true
+    (Engine.probe e 0 4 = Engine.Denied);
+  let st = Engine.stats e in
+  checki "denials counted" 2 st.Probe_stats.denied;
+  checki "only two probes issued" 2 st.Probe_stats.issued;
+  (* Other nodes have their own buckets. *)
+  Alcotest.(check bool) "peer bucket unaffected" true
+    (not (Float.is_nan (Engine.rtt e 5 6)));
+  (* Refill with the logical clock. *)
+  Engine.advance e 2.;
+  Alcotest.(check bool) "refilled after advance" true
+    (not (Float.is_nan (Engine.rtt e 0 3)))
+
+let test_budget_global_limit () =
+  let m = euclidean_matrix 12 20 in
+  let budget =
+    {
+      Budget.unlimited with
+      Budget.global_capacity = 3.;
+      global_rate = 0.;
+    }
+  in
+  let e = engine ~budget m in
+  for i = 0 to 2 do
+    Alcotest.(check bool) "admitted" true (not (Float.is_nan (Engine.rtt e i (i + 10))))
+  done;
+  Alcotest.(check bool) "global bucket empty" true
+    (Float.is_nan (Engine.rtt e 7 8));
+  checki "denied" 1 (Engine.stats e).Probe_stats.denied
+
+let test_budget_vivaldi_fallback () =
+  (* A starved embedding still runs: denied observations are skipped. *)
+  let m = euclidean_matrix 13 20 in
+  let e = engine ~budget:(Budget.per_node ~capacity:1. ~rate:0.1) m in
+  let s = System.create_with_engine (Rng.create 14) e in
+  System.run s ~rounds:10;
+  let st = Engine.stats e in
+  Alcotest.(check bool) "some probes denied" true (st.Probe_stats.denied > 0);
+  Alcotest.(check bool) "some probes admitted" true (st.Probe_stats.issued > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded jitter determinism                                           *)
+
+let jitter_fault = { Fault.default with Fault.jitter = 0.25 }
+
+let test_jitter_determinism () =
+  let m = euclidean_matrix 15 30 in
+  let sequence seed =
+    let e = engine ~fault:jitter_fault ~seed m in
+    Array.init 100 (fun k -> Engine.rtt e (k mod 29) ((k mod 7) + 23))
+  in
+  let a = sequence 42 and b = sequence 42 in
+  Array.iteri (fun k v -> checkf "same seed, same samples" v b.(k)) a;
+  let c = sequence 43 in
+  Alcotest.(check bool) "different seed differs" true
+    (Array.exists2 (fun x y -> x <> y) a c)
+
+let test_jitter_bounds_and_bias () =
+  let m = euclidean_matrix 16 30 in
+  let e = engine ~fault:jitter_fault m in
+  for _ = 1 to 50 do
+    let i = 3 and j = 17 in
+    let truth = Matrix.get m i j in
+    let sample = Engine.rtt e i j in
+    Alcotest.(check bool) "within multiplicative band" true
+      (sample >= truth *. 0.75 && sample <= truth *. 1.25)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Loss and retries                                                    *)
+
+let test_loss_retry_accounting () =
+  let m = euclidean_matrix 17 20 in
+  (* Certain loss: every attempt drops, retries burn and fail. *)
+  let e =
+    engine ~fault:{ Fault.default with Fault.loss = 0.999999; retries = 2 } m
+  in
+  Alcotest.(check bool) "lost => nan" true (Float.is_nan (Engine.rtt e 0 1));
+  Alcotest.(check bool) "outcome is Lost" true (Engine.probe e 0 2 = Engine.Lost);
+  let st = Engine.stats e in
+  checki "2 requests" 2 st.Probe_stats.requests;
+  checki "3 attempts each" 6 st.Probe_stats.issued;
+  checki "all attempts lost" 6 st.Probe_stats.lost;
+  checki "2 retries each" 4 st.Probe_stats.retried;
+  checki "both requests failed" 2 st.Probe_stats.failed
+
+let test_retry_recovers () =
+  let m = euclidean_matrix 18 20 in
+  let truth_issued_failed loss retries seed =
+    let e = engine ~fault:{ Fault.default with Fault.loss; retries } ~seed m in
+    for k = 0 to 99 do
+      ignore (Engine.rtt e (k mod 19) ((k mod 3) + 17))
+    done;
+    let st = Engine.stats e in
+    (st.Probe_stats.issued, st.Probe_stats.failed)
+  in
+  let _, failed_no_retry = truth_issued_failed 0.5 0 5 in
+  let issued_retry, failed_retry = truth_issued_failed 0.5 3 5 in
+  Alcotest.(check bool) "retries reduce failures" true
+    (failed_retry < failed_no_retry);
+  Alcotest.(check bool) "retries cost probes" true (issued_retry > 100)
+
+let test_outage () =
+  let m = euclidean_matrix 19 20 in
+  let e = engine m in
+  Fault.set_down (Engine.fault e) 4 true;
+  Alcotest.(check bool) "probe to down node" true (Engine.probe e 1 4 = Engine.Down);
+  Alcotest.(check bool) "probe from down node" true (Engine.probe e 4 1 = Engine.Down);
+  Alcotest.(check bool) "others fine" true (not (Float.is_nan (Engine.rtt e 1 2)));
+  Fault.set_down (Engine.fault e) 4 false;
+  Alcotest.(check bool) "back up" true (not (Float.is_nan (Engine.rtt e 1 4)));
+  checki "down requests counted" 2 (Engine.stats e).Probe_stats.down
+
+(* ------------------------------------------------------------------ *)
+(* Per-label accounting                                                *)
+
+let test_label_accounting () =
+  let m = euclidean_matrix 20 20 in
+  let e = engine m in
+  ignore (Engine.rtt ~label:"vivaldi" e 0 1);
+  ignore (Engine.rtt ~label:"vivaldi" e 0 2);
+  ignore (Engine.rtt ~label:"meridian" e 3 4);
+  ignore (Engine.rtt e 5 6);
+  let st = Engine.stats e in
+  checki "vivaldi" 2 (Probe_stats.label_count st "vivaldi");
+  checki "meridian" 1 (Probe_stats.label_count st "meridian");
+  checki "unlabeled not attributed" 0 (Probe_stats.label_count st "other");
+  checki "total issued" 4 st.Probe_stats.issued;
+  Alcotest.(check (list (pair string int)))
+    "labels sorted"
+    [ ("meridian", 1); ("vivaldi", 2) ]
+    (Probe_stats.labels st)
+
+let test_stats_snapshot_independent () =
+  let m = euclidean_matrix 21 20 in
+  let e = engine m in
+  ignore (Engine.rtt e 0 1);
+  let snap = Probe_stats.snapshot (Engine.stats e) in
+  ignore (Engine.rtt e 0 2);
+  checki "snapshot frozen" 1 snap.Probe_stats.issued;
+  checki "live advanced" 2 (Engine.stats e).Probe_stats.issued
+
+(* ------------------------------------------------------------------ *)
+(* Degradation end-to-end: faults hurt Meridian where it matters       *)
+
+let test_meridian_query_under_loss_degrades_gracefully () =
+  let m = euclidean_matrix 22 80 in
+  let rng = Rng.create 23 in
+  let nodes = Rng.sample_indices rng ~n:80 ~k:40 in
+  let overlay =
+    Overlay.build (Rng.create 24) m Ring.default_config ~meridian_nodes:nodes
+  in
+  let e = engine ~fault:{ Fault.default with Fault.loss = 0.3 } ~seed:25 m in
+  let targets =
+    Array.to_list (Rng.permutation (Rng.create 26) 80)
+    |> List.filter (fun i -> not (Overlay.is_meridian overlay i))
+  in
+  (* No exception under loss; failed queries surface as nan. *)
+  List.iter
+    (fun target ->
+      let o = Query.closest_engine overlay e ~start:nodes.(0) ~target in
+      Alcotest.(check bool) "probes counted" true (o.Query.probes >= 1))
+    targets;
+  Alcotest.(check bool) "some probes were lost" true
+    ((Engine.stats e).Probe_stats.failed > 0)
+
+let () =
+  Alcotest.run "measure"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "matrix backed" `Quick test_oracle_matrix;
+          Alcotest.test_case "function backed" `Quick test_oracle_fn;
+        ] );
+      ( "oracle-mode",
+        [
+          Alcotest.test_case "default engine = matrix" `Quick
+            test_default_engine_is_oracle;
+          Alcotest.test_case "vivaldi identical through engine" `Quick
+            test_vivaldi_engine_path_identical;
+          Alcotest.test_case "meridian identical through engine" `Quick
+            test_meridian_engine_path_identical;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "ttl expiry accounting" `Quick test_cache_ttl_expiry;
+          Alcotest.test_case "unit semantics" `Quick test_cache_unit;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "exhaustion => caller fallback" `Quick
+            test_budget_exhaustion_fallback;
+          Alcotest.test_case "global bucket" `Quick test_budget_global_limit;
+          Alcotest.test_case "starved vivaldi still runs" `Quick
+            test_budget_vivaldi_fallback;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "seeded jitter determinism" `Quick
+            test_jitter_determinism;
+          Alcotest.test_case "jitter bounds" `Quick test_jitter_bounds_and_bias;
+          Alcotest.test_case "loss-retry accounting" `Quick
+            test_loss_retry_accounting;
+          Alcotest.test_case "retries recover" `Quick test_retry_recovers;
+          Alcotest.test_case "outages" `Quick test_outage;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "per-label counters" `Quick test_label_accounting;
+          Alcotest.test_case "snapshot independence" `Quick
+            test_stats_snapshot_independent;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "meridian under loss" `Quick
+            test_meridian_query_under_loss_degrades_gracefully;
+        ] );
+    ]
