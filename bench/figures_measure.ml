@@ -9,6 +9,9 @@ module Matrix = Tivaware_delay_space.Matrix
 module Stats = Tivaware_util.Stats
 module Ring = Tivaware_meridian.Ring
 module Query = Tivaware_meridian.Query
+module Overlay = Tivaware_meridian.Overlay
+module Online = Tivaware_meridian.Online
+module Sim = Tivaware_eventsim.Sim
 module Eval = Tivaware_tiv.Eval
 module Experiment = Tivaware_core.Experiment
 module Selectors = Tivaware_core.Selectors
@@ -27,10 +30,19 @@ let sweep =
     ("harsh", 0.1, 0.2);
   ]
 
-let engine_for ctx ~loss ~jitter ?budget ?cache_ttl () =
-  let fault = { Fault.default with Fault.loss; jitter; retries = 1 } in
+let engine_for ctx ~loss ~jitter ?(retries = 1) ?(policy = Fault.Fixed) ?budget
+    ?cache_ttl ?cache_capacity () =
+  let fault = { Fault.default with Fault.loss; jitter; retries; policy } in
   Engine.of_matrix
-    ~config:{ Engine.fault; budget; cache_ttl; seed = ctx.Context.seed + 31 }
+    ~config:
+      {
+        Engine.fault;
+        budget;
+        cache_ttl;
+        cache_capacity;
+        charge_time = false;
+        seed = ctx.Context.seed + 31;
+      }
     (Context.matrix ctx)
 
 let measure ctx =
@@ -122,11 +134,18 @@ let measure ctx =
   let budget = Budget.per_node ~capacity:50. ~rate:5. in
   let svc_table =
     Table.create
-      ~header:[ "mode"; "p50_penalty"; "failures"; "issued"; "denied"; "hit"; "stale" ]
+      ~header:
+        [
+          "mode"; "p50_penalty"; "failures"; "issued"; "denied"; "hit";
+          "stale"; "evicted";
+        ]
   in
   List.iter
-    (fun (mode, cache_ttl) ->
-      let engine = engine_for ctx ~loss:0.1 ~jitter:0.2 ~budget ?cache_ttl () in
+    (fun (mode, cache_ttl, cache_capacity) ->
+      let engine =
+        engine_for ctx ~loss:0.1 ~jitter:0.2 ~budget ?cache_ttl ?cache_capacity
+          ()
+      in
       let r =
         Experiment.run_meridian (Context.rng ctx 43) m ~runs:3
           ~termination:Query.Any_improvement ~engine ~meridian_count
@@ -143,9 +162,110 @@ let measure ctx =
           string_of_int st.Probe_stats.denied;
           string_of_int st.Probe_stats.hits;
           string_of_int st.Probe_stats.stale;
+          string_of_int st.Probe_stats.evicted;
         ])
-    [ ("on-demand", None); ("cached ttl=60", Some 60.) ];
-  Table.print svc_table
+    [
+      ("on-demand", None, None);
+      ("cached ttl=60", Some 60., None);
+      ("cached ttl=60 cap=512", Some 60., Some 512);
+    ];
+  Table.print svc_table;
+
+  (* Retry policies head to head under 20% loss: identical probe
+     workload, fixed immediate retransmits vs adaptive backoff whose
+     retry budget tracks the per-node loss estimate. *)
+  Report.note
+    "retry policies under 20%% loss (same workload; adaptive should \
+     spend fewer attempts for a comparable success rate):";
+  let policy_table =
+    Table.create
+      ~header:[ "policy"; "requests"; "issued"; "attempts/req"; "failed"; "success" ]
+  in
+  let n = Matrix.size m in
+  List.iter
+    (fun (label, retries, policy) ->
+      let engine = engine_for ctx ~loss:0.2 ~jitter:0. ~retries ~policy () in
+      let wl = Context.rng ctx 47 in
+      let requests = 4000 in
+      for _ = 1 to requests do
+        let i = Rng.int wl n in
+        let j = (i + 1 + Rng.int wl (n - 1)) mod n in
+        ignore (Engine.rtt engine i j)
+      done;
+      let st = Engine.stats engine in
+      Table.add_row policy_table
+        [
+          label;
+          string_of_int st.Probe_stats.requests;
+          string_of_int st.Probe_stats.issued;
+          Printf.sprintf "%.2f"
+            (float_of_int st.Probe_stats.issued /. float_of_int requests);
+          string_of_int st.Probe_stats.failed;
+          Printf.sprintf "%.1f%%"
+            (100.
+            *. float_of_int (requests - st.Probe_stats.failed)
+            /. float_of_int requests);
+        ])
+    [
+      ("fixed r=3", 3, Fault.Fixed);
+      ("backoff r=3", 3, Fault.Backoff Fault.default_backoff);
+      ("adaptive r<=3", 3, Fault.adaptive ~target_failure:0.01 ());
+    ];
+  Table.print policy_table;
+
+  (* Probe-time-aware Meridian: the same online queries cost simulator
+     time for every probe; loss and retries now show up as latency. *)
+  Report.note
+    "online query latency, probe time charged on the simulator clock \
+     (faults should strictly increase virtual latency):";
+  let nodes =
+    Rng.sample_indices (Context.rng ctx 53) ~n ~k:(min meridian_count (n / 2))
+  in
+  let overlay =
+    Overlay.build (Context.rng ctx 54) m cfg ~meridian_nodes:nodes
+  in
+  let online_table =
+    Table.create
+      ~header:[ "faults"; "queries"; "latency p50 ms"; "latency mean ms"; "probe_ms" ]
+  in
+  List.iter
+    (fun (label, loss, jitter) ->
+      let engine =
+        engine_for ctx ~loss ~jitter
+          ~policy:(Fault.Backoff Fault.default_backoff) ()
+      in
+      let sim = Sim.create () in
+      Online.attach sim engine;
+      let pick = Context.rng ctx 55 in
+      let latencies = ref [] in
+      let queries = 60 in
+      for _ = 1 to queries do
+        let client = Rng.int pick n in
+        let start = nodes.(Rng.int pick (Array.length nodes)) in
+        let target = Rng.int pick n in
+        if
+          (not (Overlay.is_meridian overlay target))
+          && client <> start
+          && not (Matrix.is_missing m client start)
+        then begin
+          let o =
+            Online.closest_engine sim overlay engine ~client ~start ~target
+          in
+          latencies := o.Online.latency :: !latencies
+        end
+      done;
+      let lat = Array.of_list !latencies in
+      let st = Engine.stats engine in
+      Table.add_row online_table
+        [
+          label;
+          string_of_int (Array.length lat);
+          Printf.sprintf "%.1f" (Stats.median lat);
+          Printf.sprintf "%.1f" (Stats.mean lat);
+          Printf.sprintf "%.0f" st.Probe_stats.probe_ms;
+        ])
+    sweep;
+  Table.print online_table
 
 let register () =
   Registry.register "measure"

@@ -42,6 +42,39 @@ let measure_tests m =
       if i <> j then ignore (Engine.rtt cached_engine i j)
     done
   done;
+  let lru_engine =
+    Engine.of_matrix
+      ~config:
+        {
+          Engine.default_config with
+          Engine.cache_ttl = Some 1e9;
+          cache_capacity = Some 256;
+        }
+      m
+  in
+  (* Warm past capacity so every lookup exercises the LRU list: hits
+     move entries to the front, misses insert and evict the tail. *)
+  for i = 0 to 49 do
+    for j = 0 to 49 do
+      if i <> j then ignore (Engine.rtt lru_engine i j)
+    done
+  done;
+  let adaptive_engine =
+    Engine.of_matrix
+      ~config:
+        {
+          Engine.default_config with
+          Engine.fault =
+            {
+              Fault.default with
+              Fault.loss = 0.2;
+              retries = 3;
+              policy = Fault.adaptive ~target_failure:0.01 ();
+            };
+          seed = 8;
+        }
+      m
+  in
   let budget = Budget.create (Budget.per_node ~capacity:1e12 ~rate:1.) ~n:200 in
   let rng = Rng.create 7 in
   [
@@ -54,6 +87,13 @@ let measure_tests m =
     Test.make ~name:"measure/cache-hit"
       (Staged.stage (fun () ->
            ignore (Engine.rtt cached_engine (Rng.int rng 50) (Rng.int rng 50))));
+    Test.make ~name:"measure/lru-cache-hit"
+      (Staged.stage (fun () ->
+           ignore (Engine.rtt lru_engine (Rng.int rng 50) (Rng.int rng 50))));
+    Test.make ~name:"measure/adaptive-retry"
+      (Staged.stage (fun () ->
+           ignore
+             (Engine.rtt adaptive_engine (Rng.int rng 200) (Rng.int rng 200))));
     Test.make ~name:"measure/budget-check"
       (Staged.stage (fun () ->
            ignore (Budget.try_take budget ~now:0. (Rng.int rng 200))));

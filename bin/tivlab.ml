@@ -102,30 +102,106 @@ let cache_ttl_arg =
         ~doc:"RTT cache TTL in logical seconds — the IDMS-style delay \
               service mode (0 = on-demand, no cache).")
 
-let make_engine m ~loss ~jitter ~probe_budget ~cache_ttl ~seed =
-  if loss < 0. || loss >= 1. then begin
-    prerr_endline "tivlab: --loss must be in [0, 1)";
-    exit 2
-  end;
-  if jitter < 0. || jitter > 1. then begin
-    prerr_endline "tivlab: --jitter must be in [0, 1]";
-    exit 2
-  end;
+let cache_capacity_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"LRU entry bound for the RTT cache (0 = unbounded; \
+              requires $(b,--cache-ttl)).")
+
+let retry_policy_arg =
+  let policies =
+    [ ("fixed", `Fixed); ("backoff", `Backoff); ("adaptive", `Adaptive) ]
+  in
+  Arg.(
+    value & opt (enum policies) `Fixed
+    & info [ "retry-policy" ] ~docv:"POLICY"
+        ~doc:"Retransmission policy for lost probes: $(b,fixed) \
+              (immediate, up to $(b,--retries)), $(b,backoff) \
+              (exponential, 100 ms base, factor 2, 10% delay jitter) or \
+              $(b,adaptive) (backoff with the retry budget sized per \
+              node from its estimated loss rate).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Maximum retransmissions per probe request.")
+
+let charge_time_arg =
+  Arg.(
+    value & flag
+    & info [ "charge-time" ]
+        ~doc:"Advance the measurement-plane clock by what each probe \
+              costs (RTTs, timeouts, backoff), instead of one logical \
+              second per round only.")
+
+type meas_opts = {
+  loss : float;
+  jitter : float;
+  probe_budget : int;
+  cache_ttl : float;
+  cache_capacity : int;
+  retry_policy : [ `Fixed | `Backoff | `Adaptive ];
+  retries : int;
+  charge_time : bool;
+}
+
+let meas_term =
+  let make loss jitter probe_budget cache_ttl cache_capacity retry_policy
+      retries charge_time =
+    {
+      loss;
+      jitter;
+      probe_budget;
+      cache_ttl;
+      cache_capacity;
+      retry_policy;
+      retries;
+      charge_time;
+    }
+  in
+  Term.(
+    const make $ loss_arg $ meas_jitter_arg $ probe_budget_arg $ cache_ttl_arg
+    $ cache_capacity_arg $ retry_policy_arg $ retries_arg $ charge_time_arg)
+
+let cli_backoff = { Fault.default_backoff with Fault.delay_jitter = 0.1 }
+
+let make_engine m opts ~seed =
+  let policy =
+    match opts.retry_policy with
+    | `Fixed -> Fault.Fixed
+    | `Backoff -> Fault.Backoff cli_backoff
+    | `Adaptive -> Fault.adaptive ~backoff:cli_backoff ()
+  in
   let config =
     {
-      Engine.fault = { Fault.default with Fault.loss; jitter };
+      Engine.fault =
+        {
+          Fault.default with
+          Fault.loss = opts.loss;
+          jitter = opts.jitter;
+          retries = opts.retries;
+          policy;
+        };
       budget =
-        (if probe_budget <= 0 then None
+        (if opts.probe_budget <= 0 then None
          else
            Some
              (Budget.per_node
-                ~capacity:(float_of_int probe_budget)
-                ~rate:(float_of_int probe_budget)));
-      cache_ttl = (if cache_ttl <= 0. then None else Some cache_ttl);
+                ~capacity:(float_of_int opts.probe_budget)
+                ~rate:(float_of_int opts.probe_budget)));
+      cache_ttl = (if opts.cache_ttl <= 0. then None else Some opts.cache_ttl);
+      cache_capacity =
+        (if opts.cache_capacity <= 0 then None else Some opts.cache_capacity);
+      charge_time = opts.charge_time;
       seed;
     }
   in
-  Engine.of_matrix ~config m
+  try Engine.of_matrix ~config m
+  with Invalid_argument msg ->
+    prerr_endline ("tivlab: " ^ msg);
+    exit 2
 
 let print_probe_summary engine =
   Format.printf "probes: %a@." Probe_stats.pp (Engine.stats engine)
@@ -174,12 +250,11 @@ let survey_cmd =
 (* vivaldi                                                           *)
 
 let vivaldi_cmd =
-  let run matrix_file size seed rounds dim dynamic candidates loss jitter
-      probe_budget cache_ttl =
+  let run matrix_file size seed rounds dim dynamic candidates meas =
     let m = load_or_generate matrix_file size seed in
     let config = { System.default_config with System.dim } in
     let rng = Rng.create seed in
-    let engine = make_engine m ~loss ~jitter ~probe_budget ~cache_ttl ~seed in
+    let engine = make_engine m meas ~seed in
     let system = Selectors.embed_vivaldi_engine ~config ~rounds rng engine in
     if dynamic > 0 then
       Dynamic_neighbors.run system
@@ -195,6 +270,9 @@ let vivaldi_cmd =
     Printf.printf "neighbor selection: %s (failures %d)\n"
       (Penalty.summarize result.Experiment.penalties)
       result.Experiment.failures;
+    if meas.charge_time then
+      Printf.printf "virtual time: %.1f s (measurement-aware)\n"
+        (Engine.now engine);
     print_probe_summary engine
   in
   let rounds =
@@ -216,19 +294,17 @@ let vivaldi_cmd =
     (Cmd.info "vivaldi" ~doc:"Vivaldi embedding and neighbor selection.")
     Term.(
       const run $ matrix_arg $ size_arg $ seed_arg $ rounds $ dim $ dynamic
-      $ candidates $ loss_arg $ meas_jitter_arg $ probe_budget_arg
-      $ cache_ttl_arg)
+      $ candidates $ meas_term)
 
 (* ---------------------------------------------------------------- *)
 (* meridian                                                          *)
 
 let meridian_cmd =
-  let run matrix_file size seed count beta tiv_aware no_termination loss jitter
-      probe_budget cache_ttl =
+  let run matrix_file size seed count beta tiv_aware no_termination meas =
     let m = load_or_generate matrix_file size seed in
     let cfg = { Ring.default_config with Ring.beta } in
     let rng = Rng.create seed in
-    let engine = make_engine m ~loss ~jitter ~probe_budget ~cache_ttl ~seed in
+    let engine = make_engine m meas ~seed in
     let termination =
       if no_termination then Some Tivaware_meridian.Query.Any_improvement else None
     in
@@ -271,8 +347,7 @@ let meridian_cmd =
     (Cmd.info "meridian" ~doc:"Meridian neighbor-selection experiment.")
     Term.(
       const run $ matrix_arg $ size_arg $ seed_arg $ count $ beta $ tiv_aware
-      $ no_termination $ loss_arg $ meas_jitter_arg $ probe_budget_arg
-      $ cache_ttl_arg)
+      $ no_termination $ meas_term)
 
 (* ---------------------------------------------------------------- *)
 (* import                                                            *)
@@ -358,11 +433,11 @@ let repair_cmd =
 (* alert                                                             *)
 
 let alert_cmd =
-  let run matrix_file size seed worst loss jitter probe_budget cache_ttl =
+  let run matrix_file size seed worst meas =
     let m = load_or_generate matrix_file size seed in
     let severity = Severity.all m in
     let system = Selectors.embed_vivaldi (Rng.create seed) m in
-    let engine = make_engine m ~loss ~jitter ~probe_budget ~cache_ttl ~seed in
+    let engine = make_engine m meas ~seed in
     let points =
       Eval.evaluate_engine ~engine
         ~predicted:(fun i j -> System.predicted system i j)
@@ -384,9 +459,7 @@ let alert_cmd =
   in
   Cmd.v
     (Cmd.info "alert" ~doc:"Evaluate the TIV alert mechanism.")
-    Term.(
-      const run $ matrix_arg $ size_arg $ seed_arg $ worst $ loss_arg
-      $ meas_jitter_arg $ probe_budget_arg $ cache_ttl_arg)
+    Term.(const run $ matrix_arg $ size_arg $ seed_arg $ worst $ meas_term)
 
 (* ---------------------------------------------------------------- *)
 (* synthesize                                                        *)
@@ -428,25 +501,31 @@ let synthesize_cmd =
 (* dht                                                               *)
 
 let dht_cmd =
-  let run matrix_file size seed lookups candidates pns =
+  let run matrix_file size seed lookups candidates pns meas =
     let module Chord = Tivaware_dht.Chord in
     let module Id_space = Tivaware_dht.Id_space in
     let m = load_or_generate matrix_file size seed in
     let rng = Rng.create seed in
-    let predict =
+    let engine = ref None in
+    let overlay =
       match pns with
-      | `None -> None
-      | `Oracle -> Some (fun a b -> Matrix.get m a b)
+      | `None -> Chord.build ~candidates m
+      | `Oracle -> Chord.build ~candidates ~predict:(fun a b -> Matrix.get m a b) m
+      | `Engine ->
+        (* PNS probes pay the measurement plane (--loss, --retry-policy,
+           --cache-capacity, ...). *)
+        let e = make_engine m meas ~seed in
+        engine := Some e;
+        Chord.build_engine ~candidates e
       | `Vivaldi ->
         let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
-        Some (Selectors.vivaldi_predict system)
+        Chord.build ~candidates ~predict:(Selectors.vivaldi_predict system) m
       | `Tiv_aware ->
         let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
         Dynamic_neighbors.run system
           { Dynamic_neighbors.rounds_per_iteration = 100; iterations = 5 };
-        Some (Selectors.vivaldi_predict system)
+        Chord.build ~candidates ~predict:(Selectors.vivaldi_predict system) m
     in
-    let overlay = Chord.build ~candidates ?predict m in
     let latencies = ref [] and hops = ref 0 in
     for _ = 1 to lookups do
       let l =
@@ -464,7 +543,8 @@ let dht_cmd =
       (float_of_int !hops /. float_of_int lookups)
       (Stats.median lat)
       (Stats.percentile lat 90.)
-      (Stats.mean lat)
+      (Stats.mean lat);
+    Option.iter print_probe_summary !engine
   in
   let lookups =
     Arg.(value & opt int 1000 & info [ "lookups" ] ~docv:"N" ~doc:"Lookup count.")
@@ -474,46 +554,66 @@ let dht_cmd =
   in
   let pns =
     let sources =
-      [ ("none", `None); ("oracle", `Oracle); ("vivaldi", `Vivaldi);
-        ("tiv-aware", `Tiv_aware) ]
+      [ ("none", `None); ("oracle", `Oracle); ("engine", `Engine);
+        ("vivaldi", `Vivaldi); ("tiv-aware", `Tiv_aware) ]
     in
     Arg.(
       value & opt (enum sources) `None
       & info [ "pns" ] ~docv:"SOURCE"
           ~doc:"Finger proximity source: $(b,none), $(b,oracle), \
-                $(b,vivaldi) or $(b,tiv-aware).")
+                $(b,engine) (direct probes through the measurement \
+                plane), $(b,vivaldi) or $(b,tiv-aware).")
   in
   Cmd.v
     (Cmd.info "dht" ~doc:"Chord-like DHT lookups with proximity neighbor selection.")
-    Term.(const run $ matrix_arg $ size_arg $ seed_arg $ lookups $ candidates $ pns)
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ lookups $ candidates $ pns
+      $ meas_term)
 
 (* ---------------------------------------------------------------- *)
 (* multicast                                                         *)
 
 let multicast_cmd =
-  let run matrix_file size seed max_degree refreshes tiv_aware =
+  let run matrix_file size seed max_degree refreshes tiv_aware measured meas =
     let module Multicast = Tivaware_overlay.Multicast in
     let m = load_or_generate matrix_file size seed in
     let rng = Rng.create seed in
     let join_order = Rng.permutation rng (Matrix.size m) in
-    let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
-    if tiv_aware then
-      Dynamic_neighbors.run system
-        { Dynamic_neighbors.rounds_per_iteration = 100; iterations = 5 };
-    let predict = Selectors.vivaldi_predict system in
     let config = { Multicast.default_config with Multicast.max_degree } in
-    let t = Multicast.build ~config m ~join_order ~predict in
-    let switches = ref 0 in
-    for _ = 1 to refreshes do
-      switches := !switches + Multicast.refresh t rng m ~predict
-    done;
+    let t, switches, engine =
+      if measured then begin
+        (* Joins and refreshes probe candidate edges through the
+           measurement plane instead of trusting coordinates. *)
+        let engine = make_engine m meas ~seed in
+        let t = Multicast.build_engine ~config engine ~join_order in
+        let switches = ref 0 in
+        for _ = 1 to refreshes do
+          switches := !switches + Multicast.refresh_engine t rng engine
+        done;
+        (t, !switches, Some engine)
+      end
+      else begin
+        let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
+        if tiv_aware then
+          Dynamic_neighbors.run system
+            { Dynamic_neighbors.rounds_per_iteration = 100; iterations = 5 };
+        let predict = Selectors.vivaldi_predict system in
+        let t = Multicast.build ~config m ~join_order ~predict in
+        let switches = ref 0 in
+        for _ = 1 to refreshes do
+          switches := !switches + Multicast.refresh t rng m ~predict
+        done;
+        (t, !switches, None)
+      end
+    in
     let metrics = Multicast.evaluate t m in
     Printf.printf
       "members=%d  mean edge=%.1f ms  stretch p50=%.2f p90=%.2f  depth=%d \
        fanout=%d  (%d refresh switches)\n"
       metrics.Multicast.members metrics.Multicast.mean_edge_ms
       metrics.Multicast.median_stretch metrics.Multicast.p90_stretch
-      metrics.Multicast.max_depth metrics.Multicast.max_fanout !switches
+      metrics.Multicast.max_depth metrics.Multicast.max_fanout switches;
+    Option.iter print_probe_summary engine
   in
   let max_degree =
     Arg.(value & opt int 6 & info [ "max-degree" ] ~docv:"N" ~doc:"Children cap.")
@@ -524,11 +624,19 @@ let multicast_cmd =
   let tiv_aware =
     Arg.(value & flag & info [ "tiv-aware" ] ~doc:"Use dynamic-neighbor Vivaldi.")
   in
+  let measured =
+    Arg.(
+      value & flag
+      & info [ "measured" ]
+          ~doc:"Select parents by probing through the measurement plane \
+                ($(b,--loss), $(b,--retry-policy), $(b,--cache-capacity), \
+                ...) instead of Vivaldi coordinates.")
+  in
   Cmd.v
     (Cmd.info "multicast" ~doc:"Build and score an overlay multicast tree.")
     Term.(
       const run $ matrix_arg $ size_arg $ seed_arg $ max_degree $ refreshes
-      $ tiv_aware)
+      $ tiv_aware $ measured $ meas_term)
 
 let () =
   let info =

@@ -163,3 +163,13 @@ let lookup t m ~source ~key =
     end
   in
   route_from source 0. 0 [ source ]
+
+(* Measurement-plane PNS: the proximity predictor probes through the
+   engine (budgets, faults, cache all apply), while id-space structure
+   still comes from the engine's ground-truth matrix.  Under the
+   default (exact-oracle) config this is bit-for-bit [build ~predict:(Matrix.get m) m]. *)
+let build_engine ?candidates ?(label = "dht") engine =
+  let module Engine = Tivaware_measure.Engine in
+  build ?candidates
+    ~predict:(Engine.rtt ~label engine)
+    (Engine.matrix_exn engine)

@@ -32,6 +32,17 @@ val build :
     delay; candidates whose prediction is [nan] are skipped (falling
     back to the first candidate). *)
 
+val build_engine :
+  ?candidates:int -> ?label:string -> Tivaware_measure.Engine.t -> t
+(** PNS through the measurement plane: finger candidates are compared
+    by probing the engine ([label] defaults to ["dht"] in its
+    {!Tivaware_measure.Probe_stats}); probes that fail (loss, outage,
+    budget denial) read as [nan] and the candidate is skipped.  The
+    engine must be matrix-backed — id-space structure and {!lookup}
+    latencies use its ground-truth matrix.  Under
+    {!Tivaware_measure.Engine.default_config} the overlay is identical
+    to [build ~predict:(Matrix.get m) m]. *)
+
 val size : t -> int
 val node_id : t -> int -> int
 (** Identifier of a node index. *)

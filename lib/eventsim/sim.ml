@@ -1,10 +1,20 @@
 module Pqueue = Tivaware_util.Pqueue
 
-type t = { mutable clock : float; queue : (unit -> unit) Pqueue.t }
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Pqueue.t;
+  mutable observers : (float -> unit) list;
+}
 
-let create () = { clock = 0.; queue = Pqueue.create () }
+let create () = { clock = 0.; queue = Pqueue.create (); observers = [] }
 
 let now t = t.clock
+
+let on_advance t f = t.observers <- t.observers @ [ f ]
+
+let set_clock t time =
+  t.clock <- time;
+  List.iter (fun f -> f time) t.observers
 
 let schedule_at t time f =
   if time < t.clock then
@@ -22,7 +32,7 @@ let step t =
   match Pqueue.pop t.queue with
   | None -> false
   | Some (time, f) ->
-    t.clock <- time;
+    set_clock t time;
     f ();
     true
 
@@ -37,8 +47,7 @@ let run ?until t =
     ignore (step t)
   done;
   match until with
-  | Some limit when t.clock < limit && Pqueue.is_empty t.queue -> t.clock <- limit
-  | Some limit when t.clock < limit -> t.clock <- limit
+  | Some limit when t.clock < limit -> set_clock t limit
   | _ -> ()
 
 let reset t =

@@ -27,6 +27,13 @@ val schedule_after : t -> float -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of events not yet executed. *)
 
+val on_advance : t -> (float -> unit) -> unit
+(** [on_advance t f] registers [f] to be called with the new virtual
+    time whenever the clock moves (before the due event runs).
+    Observers fire in registration order and must not schedule or run
+    events themselves.  Used to slave external clocks — e.g. a
+    measurement engine's budget/cache clock — to the simulator. *)
+
 val run : ?until:float -> t -> unit
 (** Executes events in order until the queue drains or the next event's
     timestamp exceeds [until].  The clock ends at the last executed

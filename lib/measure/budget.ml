@@ -24,8 +24,26 @@ type t = {
   global : bucket;
 }
 
+(* A capacity below one token can never admit a probe: the bucket is a
+   deny-all in disguise, which is always a config mistake. *)
+let validate_config ctx config =
+  let check_capacity name v =
+    if Float.is_nan v || v < 1. then
+      invalid_arg
+        (Printf.sprintf "%s: %s must be >= 1 token (got %g)" ctx name v)
+  in
+  let check_rate name v =
+    if Float.is_nan v || v < 0. then
+      invalid_arg (Printf.sprintf "%s: %s must be >= 0 (got %g)" ctx name v)
+  in
+  check_capacity "node_capacity" config.node_capacity;
+  check_capacity "global_capacity" config.global_capacity;
+  check_rate "node_rate" config.node_rate;
+  check_rate "global_rate" config.global_rate
+
 let create config ~n =
   if n < 0 then invalid_arg "Budget.create: negative node count";
+  validate_config "Budget.create" config;
   {
     config;
     nodes =

@@ -20,10 +20,16 @@ val unlimited : config
 val per_node : capacity:float -> rate:float -> config
 (** Per-node bound only; the engine-wide bucket stays unlimited. *)
 
+val validate_config : string -> config -> unit
+(** [validate_config ctx c] raises [Invalid_argument] with a
+    [ctx]-prefixed descriptive message when a capacity is below one
+    token (a deny-all budget) or a rate is negative or NaN. *)
+
 type t
 
 val create : config -> n:int -> t
-(** [n] nodes; every bucket starts full. *)
+(** [n] nodes; every bucket starts full.  Raises [Invalid_argument] on
+    an invalid config (see {!validate_config}). *)
 
 val config : t -> config
 

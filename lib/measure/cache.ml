@@ -1,15 +1,71 @@
-type entry = { value : float; measured : float }
+(* TTL'd RTT cache with optional capacity-bounded LRU eviction.
+   Recency is an intrusive doubly-linked list over the entries (head =
+   most recently used), so every operation is O(1). *)
+
+type entry = {
+  key : int * int;
+  mutable value : float;
+  mutable measured : float;
+  mutable prev : entry option;  (* toward the head (more recent) *)
+  mutable next : entry option;  (* toward the tail (least recent) *)
+}
 
 type t = {
   ttl : float;
+  capacity : int option;
   entries : (int * int, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  mutable evictions : int;
 }
 
-let create ~ttl =
-  if not (ttl > 0.) then invalid_arg "Cache.create: ttl must be positive";
-  { ttl; entries = Hashtbl.create 256 }
+let create ?capacity ~ttl () =
+  if Float.is_nan ttl || not (ttl > 0.) then
+    invalid_arg (Printf.sprintf "Cache.create: ttl must be positive (got %g)" ttl);
+  (match capacity with
+  | Some c when c < 1 ->
+    invalid_arg
+      (Printf.sprintf "Cache.create: capacity must be >= 1 (got %d)" c)
+  | _ -> ());
+  {
+    ttl;
+    capacity;
+    entries = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    evictions = 0;
+  }
 
 let ttl t = t.ttl
+let capacity t = t.capacity
+let evictions t = t.evictions
+
+let unlink t e =
+  (match e.prev with
+  | Some p -> p.next <- e.next
+  | None -> t.head <- e.next);
+  (match e.next with
+  | Some n -> n.prev <- e.prev
+  | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  match t.head with
+  | Some h when h == e -> ()
+  | _ ->
+    unlink t e;
+    push_front t e
+
+let drop t e =
+  unlink t e;
+  Hashtbl.remove t.entries e.key
 
 type lookup = Hit of float | Stale | Miss
 
@@ -19,15 +75,43 @@ let find t ~now i j =
   match Hashtbl.find_opt t.entries (key i j) with
   | None -> Miss
   | Some e ->
-    if now -. e.measured <= t.ttl then Hit e.value
+    if now -. e.measured <= t.ttl then begin
+      touch t e;
+      Hit e.value
+    end
     else begin
-      Hashtbl.remove t.entries (key i j);
+      drop t e;
       Stale
     end
 
 let store t ~now i j value =
-  if not (Float.is_nan value) then
-    Hashtbl.replace t.entries (key i j) { value; measured = now }
+  if Float.is_nan value then 0
+  else begin
+    let k = key i j in
+    match Hashtbl.find_opt t.entries k with
+    | Some e ->
+      e.value <- value;
+      e.measured <- now;
+      touch t e;
+      0
+    | None ->
+      let e = { key = k; value; measured = now; prev = None; next = None } in
+      Hashtbl.replace t.entries k e;
+      push_front t e;
+      (match t.capacity with
+      | Some cap when Hashtbl.length t.entries > cap -> (
+        match t.tail with
+        | Some lru ->
+          drop t lru;
+          t.evictions <- t.evictions + 1;
+          1
+        | None -> 0)
+      | _ -> 0)
+  end
 
 let length t = Hashtbl.length t.entries
-let clear t = Hashtbl.reset t.entries
+
+let clear t =
+  Hashtbl.reset t.entries;
+  t.head <- None;
+  t.tail <- None

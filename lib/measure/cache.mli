@@ -1,29 +1,46 @@
-(** TTL'd RTT cache (the IDMS-style "delay service" mode).
+(** TTL'd RTT cache (the IDMS-style "delay service" mode), with
+    optional capacity-bounded LRU eviction.
 
     A delay {e service} amortizes probes by answering repeat lookups
     from a cache at the price of staleness; on-demand probing pays for
     every lookup but is never stale.  Entries are keyed on the
     unordered pair and carry the logical time they were measured; a
     lookup at [now] past the TTL evicts the entry and reports it
-    {!Stale} so the caller re-probes. *)
+    {!Stale} so the caller re-probes.
+
+    With a [capacity], the cache additionally models a bounded service:
+    storing a new pair beyond capacity evicts the least-recently-used
+    entry (hits and refreshes both count as use).  All operations are
+    O(1) — the recency order is an intrusive doubly-linked list. *)
 
 type t
 
-val create : ttl:float -> t
-(** [ttl] in logical seconds; must be positive. *)
+val create : ?capacity:int -> ttl:float -> unit -> t
+(** [ttl] in logical seconds; must be positive.  [capacity] (entries)
+    must be >= 1 when given; [None] = unbounded.  Raises
+    [Invalid_argument] with a descriptive message otherwise. *)
 
 val ttl : t -> float
 
+val capacity : t -> int option
+
 type lookup =
-  | Hit of float  (** fresh entry *)
+  | Hit of float  (** fresh entry (refreshes its recency) *)
   | Stale  (** entry existed but expired; evicted *)
   | Miss  (** no entry *)
 
 val find : t -> now:float -> int -> int -> lookup
 
-val store : t -> now:float -> int -> int -> float -> unit
-(** Records a measurement at [now].  [nan] values are not cached (a
-    failed probe is not an answer a service would retain). *)
+val store : t -> now:float -> int -> int -> float -> int
+(** Records a measurement at [now]; returns the number of entries
+    evicted to respect the capacity bound (0 or 1).  [nan] values are
+    not cached (a failed probe is not an answer a service would
+    retain).  Re-storing a cached pair refreshes it in place and never
+    evicts. *)
+
+val evictions : t -> int
+(** Cumulative capacity (LRU) evictions; TTL expiries are not counted
+    here (the engine reports those as [stale]). *)
 
 val length : t -> int
 (** Live entries, expired ones included until touched. *)

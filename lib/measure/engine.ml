@@ -4,11 +4,24 @@ type config = {
   fault : Fault.config;
   budget : Budget.config option;
   cache_ttl : float option;
+  cache_capacity : int option;
+  charge_time : bool;
   seed : int;
 }
 
 let default_config =
-  { fault = Fault.default; budget = None; cache_ttl = None; seed = 0 }
+  {
+    fault = Fault.default;
+    budget = None;
+    cache_ttl = None;
+    cache_capacity = None;
+    charge_time = false;
+    seed = 0;
+  }
+
+(* Probe costs are in the oracle's RTT unit (ms); the engine clock is
+   in logical seconds. *)
+let ms_per_second = 1000.
 
 type t = {
   config : config;
@@ -20,14 +33,39 @@ type t = {
   mutable clock : float;
 }
 
+let validate_config (config : config) =
+  Fault.validate_config "Engine.create" config.fault;
+  Option.iter (Budget.validate_config "Engine.create") config.budget;
+  (match config.cache_ttl with
+  | Some ttl when Float.is_nan ttl || ttl <= 0. ->
+    invalid_arg
+      (Printf.sprintf
+         "Engine.create: cache_ttl must be positive (got %g; omit the cache \
+          instead of disabling it with a non-positive TTL)"
+         ttl)
+  | _ -> ());
+  match (config.cache_capacity, config.cache_ttl) with
+  | Some c, _ when c < 1 ->
+    invalid_arg
+      (Printf.sprintf "Engine.create: cache_capacity must be >= 1 (got %d)" c)
+  | Some _, None ->
+    invalid_arg
+      "Engine.create: cache_capacity requires cache_ttl (there is no cache to \
+       bound)"
+  | _ -> ()
+
 let create ?(config = default_config) oracle =
+  validate_config config;
   let n = Oracle.size oracle in
   {
     config;
     oracle;
     fault = Fault.create ~config:config.fault (Rng.create config.seed) ~n;
     budget = Option.map (fun b -> Budget.create b ~n) config.budget;
-    cache = Option.map (fun ttl -> Cache.create ~ttl) config.cache_ttl;
+    cache =
+      Option.map
+        (fun ttl -> Cache.create ?capacity:config.cache_capacity ~ttl ())
+        config.cache_ttl;
     stats = Probe_stats.create ();
     clock = 0.;
   }
@@ -56,12 +94,21 @@ type outcome =
   | Lost
   | Unmeasured
 
+type timed = {
+  outcome : outcome;
+  cost : float;
+}
+
 (* One probe after the cache has missed: budget, then the attempt
    loop.  Every wire attempt is charged and counted, including the
    attempts burned against a node in outage (the prober cannot know the
-   peer is down until nothing comes back). *)
+   peer is down until nothing comes back).  [cost] accumulates what the
+   issuing node waits for: delivered RTTs, timeouts of unanswered
+   attempts, and backoff delays between retries. *)
 let probe_uncached t label i j =
   let st = t.stats in
+  let timeout = (Fault.config t.fault).Fault.timeout in
+  let cost = ref 0. in
   let admitted =
     match t.budget with
     | None -> true
@@ -69,13 +116,18 @@ let probe_uncached t label i j =
   in
   if not admitted then begin
     st.Probe_stats.denied <- st.Probe_stats.denied + 1;
-    Denied
+    { outcome = Denied; cost = 0. }
   end
   else begin
     let endpoint_down = Fault.node_down t.fault i || Fault.node_down t.fault j in
-    let retries = (Fault.config t.fault).Fault.retries in
+    (* The retry budget is sized once per request, from the issuer's
+       loss estimate as it stood before this request. *)
+    let retries = Fault.retry_budget t.fault i in
     let rec attempt k =
-      if k > 0 then st.Probe_stats.retried <- st.Probe_stats.retried + 1;
+      if k > 0 then begin
+        st.Probe_stats.retried <- st.Probe_stats.retried + 1;
+        cost := !cost +. Fault.backoff_delay t.fault ~attempt:k
+      end;
       (* Re-admission for retransmissions; the first attempt was charged
          by the [admitted] check above. *)
       let admitted =
@@ -93,6 +145,8 @@ let probe_uncached t label i j =
         Probe_stats.record_issue st label;
         if endpoint_down then begin
           st.Probe_stats.lost <- st.Probe_stats.lost + 1;
+          Fault.record_outcome t.fault i ~lost:true;
+          cost := !cost +. timeout;
           if k < retries then attempt (k + 1)
           else begin
             st.Probe_stats.down <- st.Probe_stats.down + 1;
@@ -103,17 +157,27 @@ let probe_uncached t label i j =
           let true_rtt = Oracle.query t.oracle i j in
           if Float.is_nan true_rtt then begin
             st.Probe_stats.unmeasured <- st.Probe_stats.unmeasured + 1;
+            (* Indistinguishable from loss at the prober: it waits the
+               timeout and its loss estimate takes the hit. *)
+            Fault.record_outcome t.fault i ~lost:true;
+            cost := !cost +. timeout;
             Unmeasured
           end
           else begin
             match Fault.attempt t.fault ~rtt:true_rtt with
             | Fault.Delivered sample ->
+              Fault.record_outcome t.fault i ~lost:false;
+              cost := !cost +. sample;
               Option.iter
-                (fun c -> Cache.store c ~now:t.clock i j sample)
+                (fun c ->
+                  st.Probe_stats.evicted <-
+                    st.Probe_stats.evicted + Cache.store c ~now:t.clock i j sample)
                 t.cache;
               Rtt sample
             | Fault.Dropped ->
               st.Probe_stats.lost <- st.Probe_stats.lost + 1;
+              Fault.record_outcome t.fault i ~lost:true;
+              cost := !cost +. timeout;
               if k < retries then attempt (k + 1)
               else begin
                 st.Probe_stats.failed <- st.Probe_stats.failed + 1;
@@ -123,30 +187,45 @@ let probe_uncached t label i j =
         end
       end
     in
-    attempt 0
+    let outcome = attempt 0 in
+    { outcome; cost = !cost }
   end
 
-let probe ?label t i j =
+let probe_timed ?label t i j =
   let st = t.stats in
   st.Probe_stats.requests <- st.Probe_stats.requests + 1;
-  match t.cache with
-  | None -> probe_uncached t label i j
-  | Some c -> (
-    match Cache.find c ~now:t.clock i j with
-    | Cache.Hit v ->
-      st.Probe_stats.hits <- st.Probe_stats.hits + 1;
-      Cached v
-    | Cache.Stale ->
-      st.Probe_stats.stale <- st.Probe_stats.stale + 1;
-      probe_uncached t label i j
-    | Cache.Miss ->
-      st.Probe_stats.misses <- st.Probe_stats.misses + 1;
-      probe_uncached t label i j)
+  let timed =
+    match t.cache with
+    | None -> probe_uncached t label i j
+    | Some c -> (
+      match Cache.find c ~now:t.clock i j with
+      | Cache.Hit v ->
+        st.Probe_stats.hits <- st.Probe_stats.hits + 1;
+        { outcome = Cached v; cost = 0. }
+      | Cache.Stale ->
+        st.Probe_stats.stale <- st.Probe_stats.stale + 1;
+        probe_uncached t label i j
+      | Cache.Miss ->
+        st.Probe_stats.misses <- st.Probe_stats.misses + 1;
+        probe_uncached t label i j)
+  in
+  st.Probe_stats.probe_ms <- st.Probe_stats.probe_ms +. timed.cost;
+  if t.config.charge_time && timed.cost > 0. then
+    t.clock <- t.clock +. (timed.cost /. ms_per_second);
+  timed
+
+let probe ?label t i j = (probe_timed ?label t i j).outcome
 
 let rtt ?label t i j =
   match probe ?label t i j with
   | Rtt v | Cached v -> v
   | Denied | Down | Lost | Unmeasured -> nan
+
+let rtt_timed ?label t i j =
+  let { outcome; cost } = probe_timed ?label t i j in
+  match outcome with
+  | Rtt v | Cached v -> (v, cost)
+  | Denied | Down | Lost | Unmeasured -> (nan, cost)
 
 let stats t = t.stats
 let reset_stats t = Probe_stats.reset t.stats

@@ -1,40 +1,66 @@
 (** The probe engine: every delay lookup, mediated.
 
     Protocol layers (Vivaldi sampling, Meridian's recursive probing,
-    the TIV alert) historically read the delay matrix as a free,
-    instantaneous, lossless oracle.  The engine interposes the
-    measurement plane between them and the {!Oracle}:
+    the TIV alert, Chord PNS, the multicast overlay) historically read
+    the delay matrix as a free, instantaneous, lossless oracle.  The
+    engine interposes the measurement plane between them and the
+    {!Oracle}:
 
-    + a TTL'd RTT {!Cache} (service mode) or none (on-demand mode),
+    + a TTL'd, optionally capacity-bounded LRU {!Cache} (service mode)
+      or none (on-demand mode),
     + per-node and engine-wide token-bucket {!Budget}s,
     + seeded {!Fault} injection (loss, jitter, outages) with a retry
-      policy,
+      policy (fixed, exponential backoff, or adaptive),
     + {!Probe_stats} accounting, attributable per protocol label.
 
     The default configuration is the exact oracle model: no cache, no
-    budget, no faults — a probe is then a plain matrix lookup and the
-    generator is never consulted, so existing experiments reproduce
-    their seed results bit-for-bit when rewired through an engine.
+    budget, no faults, no time charging — a probe is then a plain
+    matrix lookup and the generator is never consulted, so existing
+    experiments reproduce their seed results bit-for-bit when rewired
+    through an engine.
 
-    Time is logical (seconds).  Synchronous drivers advance it one
-    second per round; event-driven drivers sync it to the simulator
-    clock.  Budgets refill and cache entries age against this clock. *)
+    {2 Time model}
+
+    Probe costs are expressed in the oracle's RTT unit — milliseconds
+    throughout this repo — while the engine clock advances in logical
+    {e seconds} (the unit budgets refill against and cache TTLs are
+    written in).  A request's [cost] is what the issuing node waits
+    for: the RTTs of delivered attempts, the {!Fault.config.timeout} of
+    every unanswered one, and the backoff delays between retries.
+    Cache hits cost zero.  With [charge_time = true] the engine
+    converts each request's cost to seconds ([cost /. 1000.]) and
+    advances its own clock by it, so budgets and TTLs age against what
+    measurement actually costs.  Synchronous drivers additionally
+    advance it per round; event-driven drivers slave it to the
+    simulator clock via {!advance_to}. *)
 
 type config = {
   fault : Fault.config;
   budget : Budget.config option;  (** [None] = unlimited *)
   cache_ttl : float option;  (** [None] = on-demand (no cache) *)
+  cache_capacity : int option;
+      (** LRU entry bound for the cache; requires [cache_ttl].
+          [None] = unbounded *)
+  charge_time : bool;
+      (** advance the engine clock by each request's measurement cost *)
   seed : int;  (** fault-injection stream seed *)
 }
 
 val default_config : config
-(** Oracle model: no faults, no budget, no cache, seed 0. *)
+(** Oracle model: no faults, no budget, no cache, no time charging,
+    seed 0. *)
 
 type t
 
 val create : ?config:config -> Oracle.t -> t
+(** Raises [Invalid_argument] with a descriptive message on an invalid
+    config: non-positive or NaN [cache_ttl], [cache_capacity < 1] or
+    given without a [cache_ttl], budget capacities below one token or
+    negative/NaN rates ({!Budget.validate_config}), or fault/retry
+    parameters out of range ({!Fault.validate_config}). *)
 
 val of_matrix : ?config:config -> Tivaware_delay_space.Matrix.t -> t
+(** [create] over {!Oracle.of_matrix}; same validation. *)
 
 val config : t -> config
 val oracle : t -> Oracle.t
@@ -54,7 +80,8 @@ val advance : t -> float -> unit
 (** Advance the clock by a (non-negative) number of seconds. *)
 
 val advance_to : t -> float -> unit
-(** Monotonic absolute set: earlier times are ignored. *)
+(** Monotonic absolute set: earlier times are ignored.  Used to slave
+    the engine clock to an event simulator. *)
 
 (** {2 Probing} *)
 
@@ -66,18 +93,36 @@ type outcome =
   | Lost  (** every attempt dropped *)
   | Unmeasured  (** the oracle has no measurement for the pair *)
 
-val probe : ?label:string -> t -> int -> int -> outcome
-(** [probe t i j]: node [i] measures its RTT to [j].  Full path:
+type timed = {
+  outcome : outcome;
+  cost : float;
+      (** measurement time in ms: delivered RTTs + timeouts + backoff
+          delays; 0 for cache hits and first-attempt budget denials *)
+}
+
+val probe_timed : ?label:string -> t -> int -> int -> timed
+(** [probe_timed t i j]: node [i] measures its RTT to [j].  Full path:
     cache lookup, then budget check ([Denied] costs nothing further),
-    then up to [1 + retries] wire attempts through the fault injector.
-    Successful measurements are cached (service mode).  The budget is
-    charged once per wire attempt, against node [i] and the global
-    bucket. *)
+    then up to [1 + retries] wire attempts through the fault injector,
+    where the retry budget is sized at request start by the engine's
+    {!Fault.retry_policy} (per-node loss estimate under [Adaptive]).
+    Successful measurements are cached (service mode); capacity
+    evictions land in {!Probe_stats.t.evicted}.  The budget is charged
+    once per wire attempt, against node [i] and the global bucket.
+    When [charge_time] is set the engine clock advances by
+    [cost /. 1000.]. *)
+
+val probe : ?label:string -> t -> int -> int -> outcome
+(** [(probe_timed t i j).outcome]. *)
 
 val rtt : ?label:string -> t -> int -> int -> float
 (** {!probe} collapsed to a float: the measured RTT, or [nan] on
     [Denied | Down | Lost | Unmeasured] — exactly the shape protocol
     code expects from [Matrix.get], so callers fall back on [nan]. *)
+
+val rtt_timed : ?label:string -> t -> int -> int -> float * float
+(** [(value, cost)] — {!rtt}'s collapse plus the measurement cost in
+    ms, for callers that schedule simulator events around probes. *)
 
 val stats : t -> Probe_stats.t
 (** Live counters (mutated by every probe).  Use

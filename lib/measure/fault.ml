@@ -1,35 +1,98 @@
 module Rng = Tivaware_util.Rng
 
+type backoff = {
+  base : float;
+  factor : float;
+  delay_jitter : float;
+}
+
+let default_backoff = { base = 100.; factor = 2.; delay_jitter = 0. }
+
+type retry_policy =
+  | Fixed
+  | Backoff of backoff
+  | Adaptive of { backoff : backoff; target_failure : float }
+
 type config = {
   loss : float;
   jitter : float;
   outage : float;
   retries : int;
+  policy : retry_policy;
+  timeout : float;
 }
 
-let default = { loss = 0.; jitter = 0.; outage = 0.; retries = 0 }
+let default =
+  {
+    loss = 0.;
+    jitter = 0.;
+    outage = 0.;
+    retries = 0;
+    policy = Fixed;
+    timeout = 3000.;
+  }
+
+let adaptive ?(backoff = default_backoff) ?(target_failure = 0.01) () =
+  Adaptive { backoff; target_failure }
+
+(* EWMA weight for the per-node loss estimator.  Small enough to smooth
+   attempt-level noise, large enough that ~20 observed attempts move the
+   estimate near the true rate. *)
+let loss_est_alpha = 0.1
 
 type t = {
   config : config;
   rng : Rng.t;
   down : (int, unit) Hashtbl.t;
+  loss_est : float array;
 }
 
-let create ?(config = default) rng ~n =
+let validate_backoff ctx b =
+  if Float.is_nan b.base || b.base < 0. then
+    invalid_arg
+      (Printf.sprintf "%s: backoff base must be >= 0 ms (got %g)" ctx b.base);
+  if Float.is_nan b.factor || b.factor < 1. then
+    invalid_arg
+      (Printf.sprintf "%s: backoff factor must be >= 1 (got %g)" ctx b.factor);
+  if Float.is_nan b.delay_jitter || b.delay_jitter < 0. || b.delay_jitter >= 1.
+  then
+    invalid_arg
+      (Printf.sprintf "%s: backoff delay_jitter must be in [0, 1) (got %g)" ctx
+         b.delay_jitter)
+
+let validate_config ctx config =
   if config.loss < 0. || config.loss >= 1. then
-    invalid_arg "Fault.create: loss must be in [0, 1)";
+    invalid_arg (Printf.sprintf "%s: loss must be in [0, 1)" ctx);
   if config.jitter < 0. || config.jitter >= 1. then
-    invalid_arg "Fault.create: jitter must be in [0, 1)";
+    invalid_arg (Printf.sprintf "%s: jitter must be in [0, 1)" ctx);
   if config.outage < 0. || config.outage > 1. then
-    invalid_arg "Fault.create: outage must be in [0, 1]";
-  if config.retries < 0 then invalid_arg "Fault.create: negative retries";
+    invalid_arg (Printf.sprintf "%s: outage must be in [0, 1]" ctx);
+  if config.retries < 0 then
+    invalid_arg (Printf.sprintf "%s: negative retries" ctx);
+  if Float.is_nan config.timeout || config.timeout < 0. then
+    invalid_arg
+      (Printf.sprintf "%s: timeout must be >= 0 ms (got %g)" ctx config.timeout);
+  match config.policy with
+  | Fixed -> ()
+  | Backoff b -> validate_backoff ctx b
+  | Adaptive { backoff; target_failure } ->
+    validate_backoff ctx backoff;
+    if
+      Float.is_nan target_failure || target_failure <= 0. || target_failure >= 1.
+    then
+      invalid_arg
+        (Printf.sprintf "%s: target_failure must be in (0, 1) (got %g)" ctx
+           target_failure)
+
+let create ?(config = default) rng ~n =
+  validate_config "Fault.create" config;
   let down = Hashtbl.create 16 in
   let k = int_of_float (config.outage *. float_of_int n) in
   if k > 0 then
     Array.iter
       (fun i -> Hashtbl.replace down i ())
       (Rng.sample_indices rng ~n ~k);
-  { config; rng; down }
+  { config; rng; down; loss_est = Array.make (max n 1) 0. }
 
 let config t = t.config
 let node_down t i = Hashtbl.mem t.down i
@@ -49,4 +112,47 @@ let attempt t ~rtt =
       else rtt
     in
     Delivered sample
+  end
+
+let record_outcome t i ~lost =
+  if i >= 0 && i < Array.length t.loss_est then begin
+    let sample = if lost then 1. else 0. in
+    t.loss_est.(i) <-
+      (loss_est_alpha *. sample) +. ((1. -. loss_est_alpha) *. t.loss_est.(i))
+  end
+
+let estimated_loss t i =
+  if i >= 0 && i < Array.length t.loss_est then t.loss_est.(i) else 0.
+
+(* Smallest r such that p^(r+1) <= eps: retrying past that point buys
+   residual failure probability the policy already considers acceptable. *)
+let needed_retries ~loss ~target_failure =
+  if loss <= target_failure then 0
+  else if loss >= 1. then max_int
+  else begin
+    let r = ceil (log target_failure /. log loss) -. 1. in
+    if Float.is_nan r || r > 1e9 then max_int else max 0 (int_of_float r)
+  end
+
+let retry_budget t i =
+  match t.config.policy with
+  | Fixed | Backoff _ -> t.config.retries
+  | Adaptive { target_failure; _ } ->
+    min t.config.retries
+      (needed_retries ~loss:(estimated_loss t i) ~target_failure)
+
+let policy_backoff = function
+  | Fixed -> None
+  | Backoff b | Adaptive { backoff = b; _ } -> Some b
+
+let backoff_delay t ~attempt =
+  if attempt <= 0 then 0.
+  else begin
+    match policy_backoff t.config.policy with
+    | None -> 0.
+    | Some b ->
+      let d = b.base *. (b.factor ** float_of_int (attempt - 1)) in
+      if b.delay_jitter > 0. && d > 0. then
+        d *. Rng.uniform t.rng (1. -. b.delay_jitter) (1. +. b.delay_jitter)
+      else d
   end

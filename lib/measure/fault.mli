@@ -1,13 +1,41 @@
-(** Deterministic, seeded fault injection for probes.
+(** Deterministic, seeded fault injection and retry policy for probes.
 
-    Models the three failure modes that separate real measurement from
-    an oracle (cf. TimeWeaver's opportunistic, noisy measurements):
+    Models the failure modes that separate real measurement from an
+    oracle (cf. TimeWeaver's opportunistic, noisy measurements):
     per-attempt {e loss}, multiplicative {e jitter} on the measured
-    RTT, and whole-node {e outages}.  All randomness is drawn from the
+    RTT, and whole-node {e outages} — plus the {e retry policy} a real
+    prober runs against them.  All randomness is drawn from the
     injector's own generator, so a fixed seed and probe sequence
-    reproduce the exact same faults — and a zero-fault config never
-    consults the generator, keeping fault-free runs bit-identical to
-    the oracle path. *)
+    reproduce the exact same faults — and a zero-fault [Fixed] config
+    never consults the generator, keeping fault-free runs bit-identical
+    to the oracle path.
+
+    All delays are in the oracle's RTT unit (milliseconds by
+    convention); the {!Engine} converts to logical seconds when it
+    charges its clock. *)
+
+type backoff = {
+  base : float;  (** delay before the first retransmission, ms *)
+  factor : float;  (** multiplier per further retry (>= 1) *)
+  delay_jitter : float;
+      (** uniform ± fraction applied to each backoff delay, in [0, 1) *)
+}
+
+val default_backoff : backoff
+(** 100 ms base, factor 2, no delay jitter. *)
+
+type retry_policy =
+  | Fixed  (** immediate retransmit, always up to [retries] *)
+  | Backoff of backoff
+      (** up to [retries] retransmissions, exponentially delayed *)
+  | Adaptive of { backoff : backoff; target_failure : float }
+      (** the per-node loss-rate estimate sizes each request's retry
+          budget: just enough retries that the residual failure
+          probability drops below [target_failure], never more than
+          [retries].  Nodes seeing no loss stop retrying entirely. *)
+
+val adaptive : ?backoff:backoff -> ?target_failure:float -> unit -> retry_policy
+(** [Adaptive] with {!default_backoff} and [target_failure = 0.01]. *)
 
 type config = {
   loss : float;  (** per-attempt loss probability in [0, 1) *)
@@ -15,17 +43,25 @@ type config = {
       (** multiplicative noise: measured RTT is
           [true_rtt * uniform(1 - jitter, 1 + jitter)] *)
   outage : float;  (** fraction of nodes down for the injector's lifetime *)
-  retries : int;  (** extra attempts after a lost probe (>= 0) *)
+  retries : int;  (** max extra attempts after a lost probe (>= 0) *)
+  policy : retry_policy;  (** how (and how often) retries are issued *)
+  timeout : float;  (** ms a prober waits on an unanswered attempt *)
 }
 
 val default : config
-(** No loss, no jitter, no outages, no retries — the oracle model. *)
+(** No loss, no jitter, no outages, no retries, [Fixed] policy,
+    3000 ms timeout — the oracle model. *)
+
+val validate_config : string -> config -> unit
+(** [validate_config ctx c] raises [Invalid_argument] with a
+    [ctx]-prefixed descriptive message on any out-of-range field. *)
 
 type t
 
 val create : ?config:config -> Tivaware_util.Rng.t -> n:int -> t
 (** The outage set ([floor (outage * n)] distinct nodes) is drawn
-    immediately so it is fixed for the injector's lifetime. *)
+    immediately so it is fixed for the injector's lifetime.  Raises
+    [Invalid_argument] on an invalid config (see {!validate_config}). *)
 
 val config : t -> config
 
@@ -42,3 +78,26 @@ val attempt : t -> rtt:float -> attempt
 (** One wire attempt for a probe whose true RTT is [rtt].  Draws loss
     first, then jitter, so loss and jitter streams stay aligned across
     configs with equal loss. *)
+
+(** {2 Per-node loss estimation and retry budgets} *)
+
+val record_outcome : t -> int -> lost:bool -> unit
+(** Feed one wire-attempt outcome observed by source node [i] into its
+    EWMA loss-rate estimator (a node cannot distinguish loss from a
+    peer outage, so both count as lost). *)
+
+val estimated_loss : t -> int -> float
+(** Node [i]'s current loss-rate estimate in [0, 1] (0 before any
+    observation). *)
+
+val retry_budget : t -> int -> int
+(** Retries the policy grants a request issued by node [i]:
+    [config.retries] under [Fixed]/[Backoff]; under [Adaptive], the
+    smallest [r] with [loss_est^(r+1) <= target_failure], capped at
+    [config.retries]. *)
+
+val backoff_delay : t -> attempt:int -> float
+(** Delay (ms) the prober waits before wire attempt number [attempt]
+    (1 = first retransmission): 0 under [Fixed], else
+    [base * factor^(attempt-1)], jittered when [delay_jitter > 0]
+    (which draws from the injector's generator). *)

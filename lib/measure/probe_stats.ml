@@ -10,6 +10,8 @@ type t = {
   mutable hits : int;
   mutable stale : int;
   mutable misses : int;
+  mutable evicted : int;
+  mutable probe_ms : float;
   per_label : (string, int) Hashtbl.t;
 }
 
@@ -26,6 +28,8 @@ let create () =
     hits = 0;
     stale = 0;
     misses = 0;
+    evicted = 0;
+    probe_ms = 0.;
     per_label = Hashtbl.create 8;
   }
 
@@ -41,6 +45,8 @@ let reset t =
   t.hits <- 0;
   t.stale <- 0;
   t.misses <- 0;
+  t.evicted <- 0;
+  t.probe_ms <- 0.;
   Hashtbl.reset t.per_label
 
 let snapshot t =
@@ -56,6 +62,8 @@ let snapshot t =
   s.hits <- t.hits;
   s.stale <- t.stale;
   s.misses <- t.misses;
+  s.evicted <- t.evicted;
+  s.probe_ms <- t.probe_ms;
   Hashtbl.iter (fun k v -> Hashtbl.replace s.per_label k v) t.per_label;
   s
 
@@ -75,9 +83,9 @@ let record_issue t label =
 let pp fmt t =
   Format.fprintf fmt
     "requests=%d issued=%d lost=%d retried=%d failed=%d denied=%d down=%d \
-     unmeasured=%d cache hit/stale/miss=%d/%d/%d"
+     unmeasured=%d cache hit/stale/miss=%d/%d/%d evicted=%d probe_ms=%.0f"
     t.requests t.issued t.lost t.retried t.failed t.denied t.down t.unmeasured
-    t.hits t.stale t.misses;
+    t.hits t.stale t.misses t.evicted t.probe_ms;
   match labels t with
   | [] -> ()
   | ls ->

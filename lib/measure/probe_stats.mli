@@ -20,6 +20,10 @@ type t = {
   mutable hits : int;  (** fresh cache hits (no probe issued) *)
   mutable stale : int;  (** cache entries found expired (re-probed) *)
   mutable misses : int;  (** cache lookups with no entry *)
+  mutable evicted : int;  (** cache entries evicted by the LRU capacity bound *)
+  mutable probe_ms : float;
+      (** total measurement time charged on the issuing path (RTTs of
+          delivered attempts, timeouts of lost ones, backoff delays) *)
   per_label : (string, int) Hashtbl.t;  (** issued probes per protocol *)
 }
 
@@ -41,4 +45,5 @@ val record_issue : t -> string option -> unit
 val pp : Format.formatter -> t -> unit
 (** One-line summary, e.g.
     [requests=900 issued=842 lost=80 retried=60 failed=20 denied=12
-     down=0 unmeasured=4 cache hit/stale/miss=42/3/858 | meridian=842]. *)
+     down=0 unmeasured=4 cache hit/stale/miss=42/3/858 evicted=12
+     probe_ms=61520 | meridian=842]. *)

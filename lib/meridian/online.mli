@@ -39,3 +39,34 @@ val closest :
     clock keeps advancing across calls, so one [Sim.t] can serve many
     sequential queries.  Raises like {!Query.closest}; additionally the
     client must have a measured delay to the start node. *)
+
+val attach : Tivaware_eventsim.Sim.t -> Tivaware_measure.Engine.t -> unit
+(** Slaves the engine's logical clock (seconds) to the simulator's
+    virtual clock (ms) via {!Tivaware_eventsim.Sim.on_advance}, so
+    probe budgets refill and cache entries age in simulator time.  Call
+    once per (sim, engine) pair, before querying. *)
+
+val closest_engine :
+  ?termination:Query.termination ->
+  Tivaware_eventsim.Sim.t ->
+  Overlay.t ->
+  Tivaware_measure.Engine.t ->
+  client:int ->
+  start:int ->
+  target:int ->
+  outcome
+(** Measurement-cost-aware replay: message transit (client hand-off,
+    fan-out request/report halves, forwarding, the answer's return)
+    still rides the engine's ground-truth matrix, but every probe is
+    issued through the engine at the moment the protocol reaches it and
+    its cost — the delivered RTT, or the timeouts and backoff delays a
+    lost probe burns — advances the simulator clock on the issuing
+    path.  Failed probes degrade the query exactly as in
+    {!Query.closest_engine} (a node that cannot measure the target
+    becomes ineligible; a failed start probe ends the query), and
+    [latency] now includes what measurement actually cost.  Under
+    {!Tivaware_measure.Engine.default_config} the outcome and latency
+    are identical to {!closest} on the same (complete) matrix.  The
+    engine should be created with [charge_time = false] here — the
+    simulator owns time; pair with {!attach} to keep the engine clock
+    in sync.  Requires a matrix-backed engine ({!Tivaware_measure.Engine.matrix_exn}). *)

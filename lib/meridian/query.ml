@@ -45,18 +45,20 @@ let best_seen st = (st.best, st.best_delay)
    measurement plane.  Cached per query; [nan] marks a pair that is
    unmeasurable — or whose probe was lost, denied or timed out, in
    which case the node stays unusable for the rest of this query. *)
-let probe st node =
+let probe_timed st node =
   match Hashtbl.find_opt st.probe_cache node with
-  | Some d -> d
+  | Some d -> (d, 0.)
   | None ->
-    let d = Engine.rtt ~label:"meridian" st.engine node st.target in
+    let d, cost = Engine.rtt_timed ~label:"meridian" st.engine node st.target in
     st.probes <- st.probes + 1;
     Hashtbl.replace st.probe_cache node d;
     if (not (Float.is_nan d)) && d < st.best_delay then begin
       st.best <- node;
       st.best_delay <- d
     end;
-    d
+    (d, cost)
+
+let probe st node = fst (probe_timed st node)
 
 let eligible_members overlay current d =
   let beta = (Overlay.config overlay).Ring.beta in

@@ -121,6 +121,11 @@ val probe : probe_state -> int -> float
 (** One online probe from a node to the target: counted once per query,
     cached, tracks the best node seen.  [nan] = unmeasurable. *)
 
+val probe_timed : probe_state -> int -> float * float
+(** As {!probe}, plus the measurement cost in ms charged on the issuing
+    path ({!Tivaware_measure.Engine.rtt_timed}); 0 when the query-local
+    cache already holds the value. *)
+
 val probe_cached : probe_state -> int -> bool
 (** Whether a probe result is already cached (a cached probe costs no
     simulated time). *)

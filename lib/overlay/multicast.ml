@@ -212,3 +212,16 @@ let evaluate t m =
     max_depth = !max_depth;
     max_fanout = Array.fold_left max 0 t.degree;
   }
+
+(* Measurement-plane neighbor selection: joins and refreshes predict
+   edge delays by probing through the engine; tree evaluation stays on
+   the ground-truth matrix.  Oracle-mode default reproduces
+   [build ~predict:(Matrix.get m)] bit-for-bit. *)
+let build_engine ?config ?(label = "multicast") engine ~join_order =
+  let module Engine = Tivaware_measure.Engine in
+  build ?config (Engine.matrix_exn engine) ~join_order
+    ~predict:(Engine.rtt ~label engine)
+
+let refresh_engine ?(label = "multicast") t rng engine =
+  let module Engine = Tivaware_measure.Engine in
+  refresh t rng (Engine.matrix_exn engine) ~predict:(Engine.rtt ~label engine)

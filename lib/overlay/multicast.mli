@@ -60,6 +60,23 @@ val refresh :
     the tree into long low-latency chains.  Returns the number of
     parent switches. *)
 
+val build_engine :
+  ?config:config ->
+  ?label:string ->
+  Tivaware_measure.Engine.t ->
+  join_order:int array ->
+  t
+(** {!build} with the predictor probing through the measurement plane
+    ([label] defaults to ["multicast"]); the engine must be
+    matrix-backed (joins consult its ground-truth matrix for edge
+    existence, exactly as {!build} does).  Oracle-mode default config
+    reproduces [build ~predict:(Matrix.get m)] bit-for-bit. *)
+
+val refresh_engine :
+  ?label:string -> t -> Tivaware_util.Rng.t -> Tivaware_measure.Engine.t -> int
+(** {!refresh} with engine-mediated predictions; same label and
+    ground-truth conventions as {!build_engine}. *)
+
 type metrics = {
   members : int;
   mean_edge_ms : float;

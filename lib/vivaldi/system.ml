@@ -179,15 +179,20 @@ let reset_node t i =
 
 let round t =
   let n = size t in
+  let started = Engine.now t.engine in
   let order = Rng.permutation t.rng n in
   Array.iter
     (fun i ->
       let ns = t.neighbor_sets.(i) in
       if Array.length ns > 0 then observe t i (Rng.choice t.rng ns))
     order;
-  (* One synchronous round ≈ one virtual second of measurement-plane
-     time (budget refill, cache aging). *)
-  Engine.advance t.engine 1.;
+  (* One synchronous round lasts at least one virtual second of
+     measurement-plane time (budget refill, cache aging).  With a
+     time-charging engine the probes themselves advance the clock, and
+     a round whose measurements cost more than a second takes exactly
+     what they cost — convergence time becomes measurement-aware. *)
+  let elapsed = Engine.now t.engine -. started in
+  if elapsed < 1. then Engine.advance t.engine (1. -. elapsed);
   t.rounds <- t.rounds + 1
 
 let run t ~rounds =

@@ -98,8 +98,12 @@ val reset_node : t -> int -> unit
     failure and has lost its state. *)
 
 val round : t -> unit
-(** One simulation round ≈ one virtual second: every node, in random
-    order, probes one random neighbor. *)
+(** One simulation round: every node, in random order, probes one
+    random neighbor.  The engine clock advances by at least one virtual
+    second; with a time-charging engine ([charge_time = true]) a round
+    whose probes cost more than a second takes what they cost, so
+    {!Tivaware_measure.Engine.now} reads the measurement-aware
+    convergence time. *)
 
 val run : t -> rounds:int -> unit
 

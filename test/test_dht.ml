@@ -245,6 +245,38 @@ let test_pns_route_no_cycles () =
       l.Chord.route
   done
 
+let test_pns_engine_oracle_equivalence () =
+  (* PNS routed through a default-config measurement engine must be
+     bit-for-bit the oracle PNS build: same fingers, same successors,
+     same routes and latencies. *)
+  let module Engine = Tivaware_measure.Engine in
+  let data = Datasets.generate ~size:100 ~seed:22 Datasets.Ds2 in
+  let m = data.Generator.matrix in
+  let oracle = Chord.build ~candidates:8 ~predict:(fun a b -> Matrix.get m a b) m in
+  let engine = Engine.of_matrix m in
+  let engined = Chord.build_engine ~candidates:8 engine in
+  for node = 0 to 99 do
+    Alcotest.(check int) "same successor" (Chord.successor oracle node)
+      (Chord.successor engined node);
+    Alcotest.(check (array int)) "same fingers" (Chord.fingers oracle node)
+      (Chord.fingers engined node)
+  done;
+  let rng = Rng.create 23 in
+  for _ = 1 to 200 do
+    let source = Rng.int rng 100 and key = Rng.int rng Id_space.modulus in
+    let a = Chord.lookup oracle m ~source ~key in
+    let b = Chord.lookup engined m ~source ~key in
+    Alcotest.(check int) "same owner" a.Chord.owner b.Chord.owner;
+    Alcotest.(check (list int)) "same route" a.Chord.route b.Chord.route;
+    Alcotest.(check (float 0.)) "same latency" a.Chord.latency b.Chord.latency
+  done;
+  (* The engine really served the build: one probe per prediction, no
+     failures, clock untouched. *)
+  let st = Engine.stats engine in
+  Alcotest.(check bool) "engine probed" true (st.Tivaware_measure.Probe_stats.requests > 0);
+  Alcotest.(check int) "no failures" 0 st.Tivaware_measure.Probe_stats.failed;
+  Alcotest.(check (float 0.)) "clock untouched" 0. (Engine.now engine)
+
 let test_pns_abstaining_predictor_falls_back () =
   let m = euclidean_matrix 16 40 in
   let c = Chord.build ~predict:(fun _ _ -> nan) m in
@@ -290,5 +322,6 @@ let () =
           Alcotest.test_case "latency accounting" `Quick test_pns_latency_never_negative_progress;
           Alcotest.test_case "routes acyclic" `Quick test_pns_route_no_cycles;
           Alcotest.test_case "abstaining predictor" `Quick test_pns_abstaining_predictor_falls_back;
+          Alcotest.test_case "engine = oracle" `Quick test_pns_engine_oracle_equivalence;
         ] );
     ]

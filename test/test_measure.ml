@@ -22,9 +22,11 @@ let checki = Alcotest.(check int)
 let euclidean_matrix seed n =
   Euclidean.uniform_box (Rng.create seed) ~n ~dim:3 ~side_ms:300.
 
-let engine ?(fault = Fault.default) ?budget ?cache_ttl ?(seed = 7) m =
+let engine ?(fault = Fault.default) ?budget ?cache_ttl ?cache_capacity
+    ?(charge_time = false) ?(seed = 7) m =
   Engine.of_matrix
-    ~config:{ Engine.fault; budget; cache_ttl; seed }
+    ~config:
+      { Engine.fault; budget; cache_ttl; cache_capacity; charge_time; seed }
     m
 
 (* ------------------------------------------------------------------ *)
@@ -117,17 +119,34 @@ let test_cache_ttl_expiry () =
   checki "refreshed entry hits again" 3 st.Probe_stats.hits
 
 let test_cache_unit () =
-  let c = Cache.create ~ttl:5. in
+  let c = Cache.create ~ttl:5. () in
   Alcotest.(check bool) "miss on empty" true (Cache.find c ~now:0. 1 2 = Cache.Miss);
-  Cache.store c ~now:0. 1 2 42.;
+  checki "no eviction on store" 0 (Cache.store c ~now:0. 1 2 42.);
   Alcotest.(check bool) "hit fresh" true (Cache.find c ~now:4. 2 1 = Cache.Hit 42.);
   Alcotest.(check bool) "hit at ttl boundary" true
     (Cache.find c ~now:5. 1 2 = Cache.Hit 42.);
   Alcotest.(check bool) "stale past ttl" true
     (Cache.find c ~now:5.1 1 2 = Cache.Stale);
   Alcotest.(check bool) "stale evicts" true (Cache.find c ~now:5.1 1 2 = Cache.Miss);
-  Cache.store c ~now:0. 3 4 nan;
+  checki "nan not stored" 0 (Cache.store c ~now:0. 3 4 nan);
   Alcotest.(check bool) "nan not cached" true (Cache.find c ~now:0. 3 4 = Cache.Miss)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 ~ttl:100. () in
+  checki "store a" 0 (Cache.store c ~now:0. 0 1 10.);
+  checki "store b" 0 (Cache.store c ~now:0. 0 2 20.);
+  (* Touch (0,1) so (0,2) becomes the LRU entry. *)
+  Alcotest.(check bool) "touch a" true (Cache.find c ~now:1. 0 1 = Cache.Hit 10.);
+  checki "third store evicts one" 1 (Cache.store c ~now:1. 0 3 30.);
+  checki "length bounded" 2 (Cache.length c);
+  Alcotest.(check bool) "LRU entry gone" true (Cache.find c ~now:1. 0 2 = Cache.Miss);
+  Alcotest.(check bool) "recent entry kept" true
+    (Cache.find c ~now:1. 0 1 = Cache.Hit 10.);
+  Alcotest.(check bool) "new entry kept" true
+    (Cache.find c ~now:1. 0 3 = Cache.Hit 30.);
+  (* Re-storing a resident pair refreshes in place: no eviction. *)
+  checki "refresh does not evict" 0 (Cache.store c ~now:2. 0 1 11.);
+  checki "cumulative evictions" 1 (Cache.evictions c)
 
 (* ------------------------------------------------------------------ *)
 (* Budgets                                                             *)
@@ -309,6 +328,143 @@ let test_meridian_query_under_loss_degrades_gracefully () =
   Alcotest.(check bool) "some probes were lost" true
     ((Engine.stats e).Probe_stats.failed > 0)
 
+let test_online_loss_inflates_simulator_time () =
+  (* The same online query workload must take strictly more virtual
+     time under 20% loss + jitter than against a lossless network:
+     timeouts and retransmit backoff are charged to the simulator
+     clock. *)
+  let module Sim = Tivaware_eventsim.Sim in
+  let module Online = Tivaware_meridian.Online in
+  let m = euclidean_matrix 30 60 in
+  let nodes = Rng.sample_indices (Rng.create 31) ~n:60 ~k:30 in
+  let overlay =
+    Overlay.build (Rng.create 32) m Ring.default_config ~meridian_nodes:nodes
+  in
+  let total_latency fault =
+    let e = engine ~fault ~seed:33 m in
+    let sim = Sim.create () in
+    Online.attach sim e;
+    let pick = Rng.create 34 in
+    let acc = ref 0. in
+    for _ = 1 to 40 do
+      let client = Rng.int pick 60 in
+      let start = nodes.(Rng.int pick (Array.length nodes)) in
+      let target = Rng.int pick 60 in
+      if not (Overlay.is_meridian overlay target) then begin
+        let o = Online.closest_engine sim overlay e ~client ~start ~target in
+        acc := !acc +. o.Online.latency
+      end
+    done;
+    (!acc, (Engine.stats e).Probe_stats.probe_ms)
+  in
+  let clean, clean_ms = total_latency Fault.default in
+  let lossy, lossy_ms =
+    total_latency
+      {
+        Fault.default with
+        Fault.loss = 0.2;
+        jitter = 0.1;
+        retries = 2;
+        policy = Fault.Backoff Fault.default_backoff;
+      }
+  in
+  Alcotest.(check bool) "lossless probes still cost wire time" true
+    (clean_ms > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "lossy total virtual time higher (%.0f vs %.0f ms)" lossy
+       clean)
+    true
+    (lossy > clean);
+  Alcotest.(check bool)
+    (Printf.sprintf "lossy probe_ms higher (%.0f vs %.0f ms)" lossy_ms clean_ms)
+    true
+    (lossy_ms > clean_ms)
+
+let test_adaptive_beats_fixed_retry_cost () =
+  (* Under 20% loss, the adaptive policy must spend fewer wire attempts
+     than always-retry-3 while keeping a comparable success rate.  The
+     tolerance absorbs adaptive's warmup: until the per-node loss
+     estimate rises from zero it grants no retries, so the first
+     requests of each prober fail at the raw loss rate. *)
+  let m = euclidean_matrix 35 40 in
+  let run policy =
+    let e =
+      engine
+        ~fault:{ Fault.default with Fault.loss = 0.2; retries = 3; policy }
+        ~seed:36 m
+    in
+    let wl = Rng.create 37 in
+    let requests = 3000 in
+    for _ = 1 to requests do
+      let i = Rng.int wl 40 in
+      let j = (i + 1 + Rng.int wl 39) mod 40 in
+      ignore (Engine.rtt e i j)
+    done;
+    let st = Engine.stats e in
+    let success =
+      float_of_int (requests - st.Probe_stats.failed) /. float_of_int requests
+    in
+    (st.Probe_stats.issued, success)
+  in
+  let fixed_issued, fixed_success = run Fault.Fixed in
+  let adaptive_issued, adaptive_success =
+    run (Fault.adaptive ~target_failure:0.01 ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive issues fewer attempts (%d vs %d)" adaptive_issued
+       fixed_issued)
+    true
+    (adaptive_issued < fixed_issued);
+  Alcotest.(check bool)
+    (Printf.sprintf "success comparable (%.3f vs %.3f)" adaptive_success
+       fixed_success)
+    true
+    (adaptive_success >= fixed_success -. 0.04)
+
+(* ------------------------------------------------------------------ *)
+(* Config validation                                                   *)
+
+let test_config_validation_messages () =
+  let m = euclidean_matrix 38 10 in
+  let expect msg config =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Engine.of_matrix ~config m))
+  in
+  expect
+    "Engine.create: cache_ttl must be positive (got -3; omit the cache \
+     instead of disabling it with a non-positive TTL)"
+    { Engine.default_config with Engine.cache_ttl = Some (-3.) };
+  expect "Engine.create: cache_capacity must be >= 1 (got 0)"
+    { Engine.default_config with Engine.cache_ttl = Some 5.; cache_capacity = Some 0 };
+  expect
+    "Engine.create: cache_capacity requires cache_ttl (there is no cache to \
+     bound)"
+    { Engine.default_config with Engine.cache_capacity = Some 8 };
+  Alcotest.(check bool) "zero-capacity budget rejected" true
+    (match
+       Engine.of_matrix
+         ~config:
+           {
+             Engine.default_config with
+             Engine.budget = Some (Budget.per_node ~capacity:0. ~rate:1.);
+           }
+         m
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "loss above 1 rejected" true
+    (match
+       Engine.of_matrix
+         ~config:
+           {
+             Engine.default_config with
+             Engine.fault = { Fault.default with Fault.loss = 2. };
+           }
+         m
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "measure"
     [
@@ -330,6 +486,8 @@ let () =
         [
           Alcotest.test_case "ttl expiry accounting" `Quick test_cache_ttl_expiry;
           Alcotest.test_case "unit semantics" `Quick test_cache_unit;
+          Alcotest.test_case "lru capacity eviction" `Quick
+            test_cache_lru_eviction;
         ] );
       ( "budget",
         [
@@ -359,5 +517,14 @@ let () =
         [
           Alcotest.test_case "meridian under loss" `Quick
             test_meridian_query_under_loss_degrades_gracefully;
+          Alcotest.test_case "loss inflates simulator time" `Quick
+            test_online_loss_inflates_simulator_time;
+          Alcotest.test_case "adaptive beats fixed retry" `Quick
+            test_adaptive_beats_fixed_retry_cost;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "config messages" `Quick
+            test_config_validation_messages;
         ] );
     ]

@@ -1,0 +1,610 @@
+(* Property-test harness for the measurement plane.
+
+   Every test draws random configs and random matrices from a
+   generator seeded by TIVAWARE_PROP_SEED (default 0), so the whole
+   suite can be re-run under distinct seeds (the CI matrix runs three)
+   while any failure stays exactly reproducible. *)
+
+module Rng = Tivaware_util.Rng
+module Matrix = Tivaware_delay_space.Matrix
+module Euclidean = Tivaware_topology.Euclidean
+module Budget = Tivaware_measure.Budget
+module Cache = Tivaware_measure.Cache
+module Fault = Tivaware_measure.Fault
+module Engine = Tivaware_measure.Engine
+module Probe_stats = Tivaware_measure.Probe_stats
+module Sim = Tivaware_eventsim.Sim
+module Ring = Tivaware_meridian.Ring
+module Query = Tivaware_meridian.Query
+module Overlay = Tivaware_meridian.Overlay
+module Online = Tivaware_meridian.Online
+
+let prop_seed =
+  match Sys.getenv_opt "TIVAWARE_PROP_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 0)
+  | None -> 0
+
+(* Per-test generator: independent of test execution order, offset by
+   the test's own salt so tests do not share streams. *)
+let rng salt = Rng.create ((prop_seed * 1_000_003) + salt)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let random_matrix ?(missing = 0.) rng ~n =
+  let m = Euclidean.uniform_box rng ~n ~dim:3 ~side_ms:300. in
+  if missing > 0. then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rng.bernoulli rng missing then Matrix.set m i j nan
+      done
+    done;
+  m
+
+let random_pair rng n =
+  let i = Rng.int rng n in
+  let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+  (i, j)
+
+(* ------------------------------------------------------------------ *)
+(* Cache invariants                                                    *)
+
+(* Model-checked random op sequence: the cache never serves a value
+   older than its TTL, and never serves a value other than the last
+   stored one for the key. *)
+let test_cache_never_stale () =
+  let g = rng 1 in
+  for _ = 1 to 50 do
+    let ttl = Rng.uniform g 0.5 20. in
+    let capacity = if Rng.bool g then Some (1 + Rng.int g 8) else None in
+    let c = Cache.create ?capacity ~ttl () in
+    let model = Hashtbl.create 16 in
+    let now = ref 0. in
+    for _ = 1 to 200 do
+      now := !now +. Rng.uniform g 0. (ttl /. 2.);
+      let i = Rng.int g 6 and j = Rng.int g 6 in
+      if i <> j then begin
+        let key = if i < j then (i, j) else (j, i) in
+        if Rng.bool g then begin
+          let v = Rng.uniform g 1. 500. in
+          ignore (Cache.store c ~now:!now i j v);
+          Hashtbl.replace model key (v, !now)
+        end
+        else begin
+          match Cache.find c ~now:!now i j with
+          | Cache.Hit v ->
+            let mv, mt = Hashtbl.find model key in
+            checkb "hit within ttl" true (!now -. mt <= ttl);
+            Alcotest.(check (float 0.)) "hit serves last stored value" mv v
+          | Cache.Stale -> (
+            match Hashtbl.find_opt model key with
+            | Some (_, mt) -> checkb "stale only past ttl" true (!now -. mt > ttl)
+            | None -> Alcotest.fail "stale entry never stored")
+          | Cache.Miss -> ()
+        end
+      end
+    done
+  done
+
+let test_cache_capacity_never_exceeded () =
+  let g = rng 2 in
+  for _ = 1 to 50 do
+    let capacity = 1 + Rng.int g 10 in
+    let c = Cache.create ~capacity ~ttl:1e6 () in
+    for _ = 1 to 300 do
+      let i, j = random_pair g 12 in
+      ignore (Cache.store c ~now:0. i j (Rng.uniform g 1. 100.));
+      checkb "length <= capacity" true (Cache.length c <= capacity)
+    done
+  done
+
+(* With an effectively infinite TTL the only way entries leave is LRU
+   eviction, so inserts of non-resident keys = live entries + evictions
+   (a key may cycle in and out any number of times). *)
+let test_cache_eviction_counter_identity () =
+  let g = rng 3 in
+  for _ = 1 to 50 do
+    let capacity = 1 + Rng.int g 6 in
+    let c = Cache.create ~capacity ~ttl:1e6 () in
+    let inserts = ref 0 in
+    let reported = ref 0 in
+    for _ = 1 to 200 do
+      let i, j = random_pair g 10 in
+      if Cache.find c ~now:0. i j = Cache.Miss then incr inserts;
+      reported := !reported + Cache.store c ~now:0. i j 1.
+    done;
+    checki "inserts = length + evictions" !inserts
+      (Cache.length c + Cache.evictions c);
+    checki "store return values sum to evictions" (Cache.evictions c) !reported
+  done
+
+(* The key evicted by a capacity overflow is always the one whose last
+   use (store or hit) is oldest. *)
+let test_cache_evicts_lru_key () =
+  let g = rng 4 in
+  for _ = 1 to 50 do
+    let capacity = 2 + Rng.int g 4 in
+    let c = Cache.create ~capacity ~ttl:1e6 () in
+    (* recency model: most recent first *)
+    let order = ref [] in
+    let use key = order := key :: List.filter (( <> ) key) !order in
+    for _ = 1 to 150 do
+      let i, j = random_pair g 10 in
+      let key = (min i j, max i j) in
+      if Rng.bool g then begin
+        let resident = List.mem key !order in
+        let evicted = Cache.store c ~now:0. i j 1. in
+        use key;
+        if (not resident) && List.length !order > capacity then begin
+          checki "overflow evicts exactly one" 1 evicted;
+          (* Drop the model's least recent key; it must now miss. *)
+          let lru = List.nth !order (List.length !order - 1) in
+          order := List.filter (( <> ) lru) !order;
+          checkb "lru key misses after eviction" true
+            (Cache.find c ~now:0. (fst lru) (snd lru) = Cache.Miss)
+        end
+        else checki "no eviction otherwise" 0 evicted
+      end
+      else begin
+        match Cache.find c ~now:0. i j with
+        | Cache.Hit _ -> use key
+        | Cache.Stale | Cache.Miss -> ()
+      end
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Budget invariants                                                   *)
+
+let test_budget_denied_consumes_nothing () =
+  let g = rng 5 in
+  for _ = 1 to 50 do
+    let capacity = 1. +. float_of_int (Rng.int g 5) in
+    let b =
+      Budget.create (Budget.per_node ~capacity ~rate:(Rng.uniform g 0. 2.)) ~n:4
+    in
+    let now = ref 0. in
+    for _ = 1 to 100 do
+      now := !now +. Rng.uniform g 0. 0.5;
+      let node = Rng.int g 4 in
+      let before = Budget.tokens b ~now:!now node in
+      let admitted = Budget.try_take b ~now:!now node in
+      let after = Budget.tokens b ~now:!now node in
+      if admitted then
+        checkb "admitted takes one token" true (after <= before -. 1. +. 1e-9)
+      else begin
+        checkb "denied only when short" true (before < 1.);
+        Alcotest.(check (float 1e-9)) "denied leaves tokens" before after
+      end
+    done
+  done
+
+(* Engine level: with a rate-0 bucket of capacity C a node can never
+   issue more than C wire attempts; everything beyond is denied and
+   consumes nothing (the global bucket stays untouched by denials). *)
+let test_engine_budget_conservation () =
+  let g = rng 6 in
+  for _ = 1 to 25 do
+    let n = 8 + Rng.int g 8 in
+    let m = random_matrix g ~n in
+    let cap = 1 + Rng.int g 5 in
+    let config =
+      {
+        Engine.default_config with
+        Engine.budget =
+          Some (Budget.per_node ~capacity:(float_of_int cap) ~rate:0.);
+        seed = Rng.int g 10_000;
+      }
+    in
+    let e = Engine.of_matrix ~config m in
+    let requests = (2 * cap) + Rng.int g 20 in
+    for _ = 1 to requests do
+      ignore (Engine.rtt e 0 (1 + Rng.int g (n - 1)))
+    done;
+    let st = Engine.stats e in
+    checki "issues bounded by capacity" cap st.Probe_stats.issued;
+    checki "excess denied" (requests - cap) st.Probe_stats.denied
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Engine accounting identities                                        *)
+
+(* Under a random fault config (no budget), every issued attempt is
+   delivered, lost or unmeasured — and outcome counts tie exactly to
+   the request counts observed by the caller. *)
+let test_engine_attempt_accounting () =
+  let g = rng 7 in
+  for _ = 1 to 25 do
+    let n = 10 + Rng.int g 10 in
+    let m = random_matrix ~missing:(Rng.uniform g 0. 0.3) g ~n in
+    let retries = Rng.int g 4 in
+    let policy =
+      match Rng.int g 3 with
+      | 0 -> Fault.Fixed
+      | 1 -> Fault.Backoff Fault.default_backoff
+      | _ -> Fault.adaptive ~target_failure:0.05 ()
+    in
+    let fault =
+      { Fault.default with Fault.loss = Rng.uniform g 0. 0.5; retries; policy }
+    in
+    let config =
+      { Engine.default_config with Engine.fault; seed = Rng.int g 10_000 }
+    in
+    let e = Engine.of_matrix ~config m in
+    let delivered = ref 0 and failed = ref 0 and unmeasured = ref 0 in
+    let requests = 200 in
+    for _ = 1 to requests do
+      let i, j = random_pair g n in
+      match Engine.probe e i j with
+      | Engine.Rtt _ -> incr delivered
+      | Engine.Lost -> incr failed
+      | Engine.Unmeasured -> incr unmeasured
+      | Engine.Cached _ | Engine.Denied | Engine.Down -> ()
+    done;
+    let st = Engine.stats e in
+    checki "requests counted" requests st.Probe_stats.requests;
+    checki "issued = delivered + lost + unmeasured"
+      st.Probe_stats.issued
+      (!delivered + st.Probe_stats.lost + st.Probe_stats.unmeasured);
+    checki "failed outcomes" !failed st.Probe_stats.failed;
+    checki "unmeasured outcomes" !unmeasured st.Probe_stats.unmeasured;
+    checkb "attempts bounded by retry cap" true
+      (st.Probe_stats.issued <= requests * (retries + 1));
+    checki "retried = issued - first attempts" st.Probe_stats.retried
+      (st.Probe_stats.issued - (!delivered + !failed + !unmeasured))
+  done
+
+(* With a cache every request resolves to exactly one of hit, miss or
+   stale. *)
+let test_engine_cache_accounting () =
+  let g = rng 8 in
+  for _ = 1 to 25 do
+    let n = 8 + Rng.int g 8 in
+    let m = random_matrix g ~n in
+    let ttl = Rng.uniform g 1. 30. in
+    let config =
+      {
+        Engine.default_config with
+        Engine.cache_ttl = Some ttl;
+        cache_capacity = (if Rng.bool g then Some (1 + Rng.int g 20) else None);
+        seed = Rng.int g 10_000;
+      }
+    in
+    let e = Engine.of_matrix ~config m in
+    let requests = 300 in
+    for _ = 1 to requests do
+      if Rng.bernoulli g 0.2 then Engine.advance e (Rng.uniform g 0. ttl);
+      let i, j = random_pair g n in
+      ignore (Engine.rtt e i j)
+    done;
+    let st = Engine.stats e in
+    checki "hits + misses + stale = requests" requests
+      (st.Probe_stats.hits + st.Probe_stats.misses + st.Probe_stats.stale);
+    checki "every non-hit issued once" st.Probe_stats.issued
+      (st.Probe_stats.misses + st.Probe_stats.stale)
+  done
+
+(* When probes cannot fail, the adaptive policy must collapse to one
+   attempt per uncached request. *)
+let test_engine_no_loss_single_attempt () =
+  let g = rng 9 in
+  for _ = 1 to 25 do
+    let n = 8 + Rng.int g 8 in
+    let m = random_matrix g ~n in
+    let policy =
+      if Rng.bool g then Fault.adaptive ()
+      else Fault.Backoff Fault.default_backoff
+    in
+    let fault = { Fault.default with Fault.retries = 1 + Rng.int g 4; policy } in
+    let config =
+      { Engine.default_config with Engine.fault; seed = Rng.int g 10_000 }
+    in
+    let e = Engine.of_matrix ~config m in
+    let requests = 100 in
+    for _ = 1 to requests do
+      let i, j = random_pair g n in
+      ignore (Engine.rtt e i j)
+    done;
+    let st = Engine.stats e in
+    checki "one attempt per request" requests st.Probe_stats.issued;
+    checki "no retries without loss" 0 st.Probe_stats.retried
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Oracle-mode equivalence                                              *)
+
+let test_default_engine_equals_oracle () =
+  let g = rng 10 in
+  for _ = 1 to 10 do
+    let n = 10 + Rng.int g 30 in
+    let m = random_matrix ~missing:(Rng.uniform g 0. 0.4) g ~n in
+    let e = Engine.of_matrix m in
+    for _ = 1 to 100 do
+      let i = Rng.int g n and j = Rng.int g n in
+      let truth = Matrix.get m i j and probed = Engine.rtt e i j in
+      if Float.is_nan truth then checkb "missing stays nan" true (Float.is_nan probed)
+      else Alcotest.(check (float 0.)) "rtt bit-identical" truth probed
+    done;
+    checkb "clock untouched" true (Engine.now e = 0.);
+    checki "no probe_ms magic" 0
+      (int_of_float (Engine.stats e).Probe_stats.probe_ms
+      - int_of_float (Engine.stats e).Probe_stats.probe_ms)
+  done
+
+(* The online (event-sim) query under a default engine reproduces the
+   pure-matrix online query: same answer, same probes, same virtual
+   latency. *)
+let test_online_engine_equals_matrix () =
+  let g = rng 11 in
+  for _ = 1 to 10 do
+    let n = 30 + Rng.int g 30 in
+    let m = random_matrix g ~n in
+    let nodes = Rng.sample_indices g ~n ~k:(n / 2) in
+    let overlay =
+      Overlay.build (Rng.create (Rng.int g 10_000)) m Ring.default_config
+        ~meridian_nodes:nodes
+    in
+    let is_meridian i = Overlay.is_meridian overlay i in
+    let target = ref (Rng.int g n) in
+    while is_meridian !target do
+      target := Rng.int g n
+    done;
+    let client = Rng.int g n and start = nodes.(0) in
+    let a =
+      Online.closest (Sim.create ()) overlay m ~client ~start ~target:!target
+    in
+    let sim = Sim.create () in
+    let e = Engine.of_matrix m in
+    Online.attach sim e;
+    let b =
+      Online.closest_engine sim overlay e ~client ~start ~target:!target
+    in
+    checki "same chosen" a.Online.query.Query.chosen b.Online.query.Query.chosen;
+    checki "same probes" a.Online.query.Query.probes b.Online.query.Query.probes;
+    checki "same hops" a.Online.query.Query.hops b.Online.query.Query.hops;
+    Alcotest.(check (float 1e-9))
+      "same virtual latency" a.Online.latency b.Online.latency
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Time accounting                                                      *)
+
+(* charge_time: the engine clock is exactly the charged probe time (in
+   seconds), and it never goes backwards. *)
+let test_clock_tracks_probe_cost () =
+  let g = rng 12 in
+  for _ = 1 to 25 do
+    let n = 8 + Rng.int g 8 in
+    let m = random_matrix ~missing:0.1 g ~n in
+    let fault =
+      {
+        Fault.default with
+        Fault.loss = Rng.uniform g 0. 0.4;
+        jitter = Rng.uniform g 0. 0.3;
+        retries = Rng.int g 3;
+        policy = Fault.Backoff Fault.default_backoff;
+      }
+    in
+    let config =
+      {
+        Engine.default_config with
+        Engine.fault;
+        charge_time = true;
+        seed = Rng.int g 10_000;
+      }
+    in
+    let e = Engine.of_matrix ~config m in
+    let last = ref 0. in
+    for _ = 1 to 100 do
+      let i, j = random_pair g n in
+      let { Engine.cost; _ } = Engine.probe_timed e i j in
+      checkb "cost non-negative" true (cost >= 0.);
+      checkb "clock monotone" true (Engine.now e >= !last);
+      last := Engine.now e
+    done;
+    Alcotest.(check (float 1e-6))
+      "clock = charged probe time"
+      ((Engine.stats e).Probe_stats.probe_ms /. 1000.)
+      (Engine.now e)
+  done
+
+(* Delivered samples stay inside the multiplicative jitter band. *)
+let test_jitter_band () =
+  let g = rng 13 in
+  for _ = 1 to 25 do
+    let n = 8 + Rng.int g 8 in
+    let m = random_matrix g ~n in
+    let jitter = Rng.uniform g 0.01 0.5 in
+    let config =
+      {
+        Engine.default_config with
+        Engine.fault = { Fault.default with Fault.jitter };
+        seed = Rng.int g 10_000;
+      }
+    in
+    let e = Engine.of_matrix ~config m in
+    for _ = 1 to 100 do
+      let i, j = random_pair g n in
+      let truth = Matrix.get m i j in
+      match Engine.probe e i j with
+      | Engine.Rtt sample ->
+        checkb "sample within band" true
+          (sample >= truth *. (1. -. jitter) -. 1e-9
+          && sample <= truth *. (1. +. jitter) +. 1e-9)
+      | _ -> Alcotest.fail "no faults: probe must deliver"
+    done
+  done
+
+(* Backoff delays grow geometrically and respect the delay-jitter
+   band. *)
+let test_backoff_delay_schedule () =
+  let g = rng 14 in
+  for _ = 1 to 50 do
+    let base = Rng.uniform g 1. 200. in
+    let factor = Rng.uniform g 1. 4. in
+    let delay_jitter = if Rng.bool g then 0. else Rng.uniform g 0.01 0.5 in
+    let b = { Fault.base; factor; delay_jitter } in
+    let config = { Fault.default with Fault.policy = Fault.Backoff b } in
+    let f = Fault.create ~config (Rng.create (Rng.int g 10_000)) ~n:4 in
+    for attempt = 1 to 6 do
+      let expected = base *. (factor ** float_of_int (attempt - 1)) in
+      let d = Fault.backoff_delay f ~attempt in
+      if delay_jitter = 0. then
+        Alcotest.(check (float 1e-9)) "exact geometric delay" expected d
+      else
+        checkb "jittered delay within band" true
+          (d >= expected *. (1. -. delay_jitter) -. 1e-9
+          && d <= expected *. (1. +. delay_jitter) +. 1e-9)
+    done;
+    checkb "no delay before first attempt" true
+      (Fault.backoff_delay f ~attempt:0 = 0.)
+  done
+
+(* Adaptive retry budgets shrink with the loss estimate and never
+   exceed the configured cap. *)
+let test_adaptive_retry_budget_bounds () =
+  let g = rng 15 in
+  for _ = 1 to 50 do
+    let retries = 1 + Rng.int g 5 in
+    let target_failure = Rng.uniform g 0.001 0.2 in
+    let config =
+      {
+        Fault.default with
+        Fault.retries;
+        policy = Fault.adaptive ~target_failure ();
+      }
+    in
+    let f = Fault.create ~config (Rng.create 1) ~n:2 in
+    checki "fresh node needs no retries" 0 (Fault.retry_budget f 0);
+    (* Drive the loss estimate up with observed losses. *)
+    let prev = ref 0 in
+    for _ = 1 to 60 do
+      Fault.record_outcome f 0 ~lost:true;
+      let b = Fault.retry_budget f 0 in
+      checkb "budget within cap" true (b >= 0 && b <= retries);
+      checkb "budget non-decreasing as loss grows" true (b >= !prev);
+      prev := b
+    done;
+    checkb "high loss earns retries" true (!prev >= 1);
+    (* And back down with successes. *)
+    for _ = 1 to 200 do
+      Fault.record_outcome f 0 ~lost:false
+    done;
+    checki "recovered node needs none again" 0 (Fault.retry_budget f 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Config validation                                                    *)
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let test_config_validation () =
+  let g = rng 16 in
+  let m = random_matrix g ~n:6 in
+  let mk config = ignore (Engine.of_matrix ~config m) in
+  let base = Engine.default_config in
+  List.iter
+    (fun (name, config) ->
+      checkb name true (raises_invalid (fun () -> mk config)))
+    [
+      ( "negative cache_ttl",
+        { base with Engine.cache_ttl = Some (-. Rng.uniform g 0.1 10.) } );
+      ("zero cache_ttl", { base with Engine.cache_ttl = Some 0. });
+      ("nan cache_ttl", { base with Engine.cache_ttl = Some nan });
+      ( "zero cache capacity",
+        { base with Engine.cache_ttl = Some 1.; cache_capacity = Some 0 } );
+      ( "capacity without ttl",
+        { base with Engine.cache_capacity = Some 4 } );
+      ( "zero-capacity budget",
+        { base with Engine.budget = Some (Budget.per_node ~capacity:0. ~rate:1.) } );
+      ( "negative budget rate",
+        { base with Engine.budget = Some (Budget.per_node ~capacity:5. ~rate:(-1.)) } );
+      ( "loss out of range",
+        { base with Engine.fault = { Fault.default with Fault.loss = 1.5 } } );
+      ( "negative retries",
+        { base with Engine.fault = { Fault.default with Fault.retries = -1 } } );
+      ( "negative timeout",
+        { base with Engine.fault = { Fault.default with Fault.timeout = -5. } } );
+      ( "backoff factor below one",
+        {
+          base with
+          Engine.fault =
+            {
+              Fault.default with
+              Fault.policy =
+                Fault.Backoff { Fault.default_backoff with Fault.factor = 0.5 };
+            };
+        } );
+      ( "target_failure out of range",
+        {
+          base with
+          Engine.fault =
+            { Fault.default with Fault.policy = Fault.adaptive ~target_failure:1.5 () };
+        } );
+    ];
+  (* And a valid non-trivial config constructs fine. *)
+  mk
+    {
+      Engine.fault =
+        {
+          Fault.default with
+          Fault.loss = 0.1;
+          retries = 2;
+          policy = Fault.adaptive ();
+        };
+      budget = Some (Budget.per_node ~capacity:10. ~rate:1.);
+      cache_ttl = Some 5.;
+      cache_capacity = Some 64;
+      charge_time = true;
+      seed = 3;
+    }
+
+let () =
+  Alcotest.run "measure-properties"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "never serves past ttl" `Quick test_cache_never_stale;
+          Alcotest.test_case "capacity never exceeded" `Quick
+            test_cache_capacity_never_exceeded;
+          Alcotest.test_case "eviction counter identity" `Quick
+            test_cache_eviction_counter_identity;
+          Alcotest.test_case "evicts the lru key" `Quick test_cache_evicts_lru_key;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "denied consumes nothing" `Quick
+            test_budget_denied_consumes_nothing;
+          Alcotest.test_case "engine-level conservation" `Quick
+            test_engine_budget_conservation;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "attempt identities" `Quick
+            test_engine_attempt_accounting;
+          Alcotest.test_case "cache identities" `Quick test_engine_cache_accounting;
+          Alcotest.test_case "no loss, one attempt" `Quick
+            test_engine_no_loss_single_attempt;
+        ] );
+      ( "oracle-mode",
+        [
+          Alcotest.test_case "default engine = matrix" `Quick
+            test_default_engine_equals_oracle;
+          Alcotest.test_case "online engine = online matrix" `Quick
+            test_online_engine_equals_matrix;
+        ] );
+      ( "time",
+        [
+          Alcotest.test_case "clock tracks probe cost" `Quick
+            test_clock_tracks_probe_cost;
+          Alcotest.test_case "jitter band" `Quick test_jitter_band;
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_delay_schedule;
+          Alcotest.test_case "adaptive budget bounds" `Quick
+            test_adaptive_retry_budget_bounds;
+        ] );
+      ( "validation",
+        [ Alcotest.test_case "config validation" `Quick test_config_validation ] );
+    ]

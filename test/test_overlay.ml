@@ -160,6 +160,45 @@ let test_refresh_improves_bad_tree () =
     true (after < before);
   check_tree_invariants t 120
 
+let test_engine_build_refresh_equivalence () =
+  (* Build and refresh routed through a default-config measurement
+     engine must be bit-for-bit identical to the oracle-predictor path:
+     same parents, same metrics, after the same refresh schedule. *)
+  let module Engine = Tivaware_measure.Engine in
+  let data = Datasets.generate ~size:100 ~seed:16 Datasets.Ds2 in
+  let m = data.Generator.matrix in
+  let order = Rng.permutation (Rng.create 17) 100 in
+  let a = Multicast.build m ~join_order:order ~predict:(oracle m) in
+  let engine = Engine.of_matrix m in
+  let b = Multicast.build_engine engine ~join_order:order in
+  let same_trees x y =
+    Alcotest.(check (list int)) "same members" (Multicast.members x)
+      (Multicast.members y);
+    List.iter
+      (fun node ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "same parent of %d" node)
+          (Multicast.parent x node) (Multicast.parent y node))
+      (Multicast.members x);
+    let mx = Multicast.evaluate x m and my = Multicast.evaluate y m in
+    Alcotest.(check (float 0.)) "same median stretch"
+      mx.Multicast.median_stretch my.Multicast.median_stretch;
+    Alcotest.(check (float 0.)) "same p90 stretch" mx.Multicast.p90_stretch
+      my.Multicast.p90_stretch
+  in
+  same_trees a b;
+  (* Identical rng seeds drive identical refresh decisions. *)
+  let ra = Rng.create 18 and rb = Rng.create 18 in
+  for _ = 1 to 5 do
+    ignore (Multicast.refresh a ra m ~predict:(oracle m));
+    ignore (Multicast.refresh_engine b rb engine)
+  done;
+  same_trees a b;
+  let st = Engine.stats engine in
+  Alcotest.(check bool) "engine probed" true
+    (st.Tivaware_measure.Probe_stats.requests > 0);
+  Alcotest.(check (float 0.)) "clock untouched" 0. (Engine.now engine)
+
 let prop_build_invariants_random =
   qcheck "random worlds keep tree invariants"
     QCheck2.Gen.(int_range 0 10_000)
@@ -188,6 +227,8 @@ let () =
           Alcotest.test_case "evaluate fields" `Quick test_evaluate_fields;
           Alcotest.test_case "refresh keeps invariants" `Quick test_refresh_keeps_invariants;
           Alcotest.test_case "refresh improves bad tree" `Quick test_refresh_improves_bad_tree;
+          Alcotest.test_case "engine = oracle build/refresh" `Quick
+            test_engine_build_refresh_equivalence;
           prop_build_invariants_random;
         ] );
     ]
