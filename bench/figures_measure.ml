@@ -18,8 +18,11 @@ module Selectors = Tivaware_core.Selectors
 module System = Tivaware_vivaldi.System
 module Engine = Tivaware_measure.Engine
 module Fault = Tivaware_measure.Fault
-module Budget = Tivaware_measure.Budget
+module Profile = Tivaware_measure.Profile
+module Churn = Tivaware_measure.Churn
+module Generator = Tivaware_topology.Generator
 module Probe_stats = Tivaware_measure.Probe_stats
+module Budget = Tivaware_measure.Budget
 
 (* (label, loss, jitter) sweep points.  Retries fixed at 1 so loss also
    shows up as extra issued probes, not only as failures. *)
@@ -30,13 +33,15 @@ let sweep =
     ("harsh", 0.1, 0.2);
   ]
 
-let engine_for ctx ~loss ~jitter ?(retries = 1) ?(policy = Fault.Fixed) ?budget
-    ?cache_ttl ?cache_capacity () =
+let engine_for ctx ~loss ~jitter ?(retries = 1) ?(policy = Fault.Fixed) ?profile
+    ?budget ?cache_ttl ?cache_capacity () =
   let fault = { Fault.default with Fault.loss; jitter; retries; policy } in
   Engine.of_matrix
     ~config:
       {
         Engine.fault;
+        profile;
+        churn = None;
         budget;
         cache_ttl;
         cache_capacity;
@@ -96,6 +101,80 @@ let measure ctx =
         ])
     sweep;
   Table.print table;
+
+  (* Per-link profile sweep: the same harsh base rates spread uniformly,
+     concentrated by topology (lossy access links, jittery inter-cluster
+     paths) or scattered per link at random — plus node churn on top.
+     Heterogeneity, not the average rate, is what moves the tail. *)
+  Report.note
+    "per-link profiles at equal base rates (loss 0.1, jitter 0.2), \
+     Meridian queries; churn row adds 20%% of nodes cycling up/down:";
+  let cluster_of = (Context.ds2 ctx).Generator.cluster_of in
+  let profile_rows =
+    [
+      ("uniform", None, None);
+      ( "topo",
+        Some (Profile.topology ~loss:0.1 ~jitter:0.2 ~cluster_of ()),
+        None );
+      ( "random",
+        Some (Profile.random ~loss:0.1 ~jitter:0.2 ~seed:(ctx.Context.seed + 7) ()),
+        None );
+      ( "random+churn",
+        Some (Profile.random ~loss:0.1 ~jitter:0.2 ~seed:(ctx.Context.seed + 7) ()),
+        Some { Churn.default with Churn.seed = ctx.Context.seed + 9 } );
+    ]
+  in
+  let profile_table =
+    Table.create
+      ~header:
+        [
+          "profile"; "perfect"; "p50_penalty"; "p90_penalty"; "failures";
+          "issued"; "lost"; "down";
+        ]
+  in
+  List.iter
+    (fun (label, profile, churn) ->
+      let engine =
+        let fault = { Fault.default with Fault.loss = 0.1; jitter = 0.2; retries = 1 } in
+        Engine.of_matrix
+          ~config:
+            {
+              Engine.fault;
+              profile;
+              churn;
+              budget = None;
+              cache_ttl = None;
+              cache_capacity = None;
+              charge_time = false;
+              seed = ctx.Context.seed + 31;
+            }
+          m
+      in
+      let r =
+        Experiment.run_meridian (Context.rng ctx 42) m ~runs:3
+          ~termination:Query.Any_improvement ~engine ~meridian_count
+          ~build:(Selectors.meridian_build m cfg) ()
+      in
+      let penalties = r.Experiment.base.Experiment.penalties in
+      let s = Stats.summarize penalties in
+      let perfect =
+        let exact = Array.fold_left (fun a p -> if p = 0. then a + 1 else a) 0 penalties in
+        100. *. float_of_int exact /. float_of_int (max 1 (Array.length penalties))
+      in
+      let st = Engine.stats engine in
+      Table.add_row profile_table
+        [
+          label;
+          Printf.sprintf "%.1f%%" perfect;
+          Printf.sprintf "%.2f" s.Stats.p50;
+          Printf.sprintf "%.2f" s.Stats.p90;
+          string_of_int r.Experiment.base.Experiment.failures;
+          string_of_int st.Probe_stats.issued;
+          string_of_int st.Probe_stats.lost;
+          string_of_int st.Probe_stats.down;
+        ])
+    profile_rows;
+  Table.print profile_table;
 
   (* TIV-alert accuracy/recall at the paper's mid threshold, with the
      ratio matrix probed through the engine. *)

@@ -34,6 +34,8 @@ module Selectors = Tivaware_core.Selectors
 module Penalty = Tivaware_core.Penalty
 module Engine = Tivaware_measure.Engine
 module Fault = Tivaware_measure.Fault
+module Profile = Tivaware_measure.Profile
+module Churn = Tivaware_measure.Churn
 module Budget = Tivaware_measure.Budget
 module Probe_stats = Tivaware_measure.Probe_stats
 
@@ -66,11 +68,17 @@ let preset_arg =
         ~doc:"Data-set preset: $(b,ds2), $(b,meridian), $(b,p2psim) or \
               $(b,planetlab).")
 
+(* Returns the matrix plus lazy cluster labels ([-1] = noise) for
+   topology-derived fault profiles: ground truth when generating,
+   DS2-style clustering when loading a measured matrix. *)
 let load_or_generate matrix_file size seed =
   match matrix_file with
-  | Some path -> Io.load path
+  | Some path ->
+    let m = Io.load path in
+    (m, lazy (Clustering.cluster m).Clustering.label)
   | None ->
-    (Datasets.generate ~size ~seed Datasets.Ds2).Generator.matrix
+    let data = Datasets.generate ~size ~seed Datasets.Ds2 in
+    (data.Generator.matrix, lazy data.Generator.cluster_of)
 
 (* ---------------------------------------------------------------- *)
 (* Measurement-plane arguments (vivaldi / meridian / alert)          *)
@@ -136,6 +144,31 @@ let charge_time_arg =
               costs (RTTs, timeouts, backoff), instead of one logical \
               second per round only.")
 
+let profile_arg =
+  let profiles = [ ("uniform", `Uniform); ("topo", `Topo); ("random", `Random) ] in
+  Arg.(
+    value & opt (enum profiles) `Uniform
+    & info [ "profile" ] ~docv:"KIND"
+        ~doc:"Per-link fault profile built from $(b,--loss)/$(b,--jitter): \
+              $(b,uniform) (every link identical — the global model), \
+              $(b,topo) (access links of noise hosts lossy, inter-cluster \
+              paths jittery, from cluster labels) or $(b,random) (seeded \
+              per-link heterogeneity, mean equal to the base rates).")
+
+let churn_arg =
+  Arg.(
+    value & flag
+    & info [ "churn" ]
+        ~doc:"Enable seeded node churn: a fraction of nodes alternates \
+              exponential up/down lifetimes on the engine clock; down \
+              nodes answer no probes.")
+
+let churn_fraction_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "churn-fraction" ] ~docv:"F"
+        ~doc:"Share of nodes subject to churn (with $(b,--churn)).")
+
 type meas_opts = {
   loss : float;
   jitter : float;
@@ -145,11 +178,14 @@ type meas_opts = {
   retry_policy : [ `Fixed | `Backoff | `Adaptive ];
   retries : int;
   charge_time : bool;
+  profile : [ `Uniform | `Topo | `Random ];
+  churn : bool;
+  churn_fraction : float;
 }
 
 let meas_term =
   let make loss jitter probe_budget cache_ttl cache_capacity retry_policy
-      retries charge_time =
+      retries charge_time profile churn churn_fraction =
     {
       loss;
       jitter;
@@ -159,20 +195,39 @@ let meas_term =
       retry_policy;
       retries;
       charge_time;
+      profile;
+      churn;
+      churn_fraction;
     }
   in
   Term.(
     const make $ loss_arg $ meas_jitter_arg $ probe_budget_arg $ cache_ttl_arg
-    $ cache_capacity_arg $ retry_policy_arg $ retries_arg $ charge_time_arg)
+    $ cache_capacity_arg $ retry_policy_arg $ retries_arg $ charge_time_arg
+    $ profile_arg $ churn_arg $ churn_fraction_arg)
 
 let cli_backoff = { Fault.default_backoff with Fault.delay_jitter = 0.1 }
 
-let make_engine m opts ~seed =
+let make_engine m ?(labels = lazy [||]) opts ~seed =
   let policy =
     match opts.retry_policy with
     | `Fixed -> Fault.Fixed
     | `Backoff -> Fault.Backoff cli_backoff
     | `Adaptive -> Fault.adaptive ~backoff:cli_backoff ()
+  in
+  let profile =
+    match opts.profile with
+    | `Uniform -> None (* fault config drives the injector, as before *)
+    | `Topo ->
+      Some
+        (Profile.topology ~loss:opts.loss ~jitter:opts.jitter
+           ~cluster_of:(Lazy.force labels) ())
+    | `Random ->
+      Some (Profile.random ~loss:opts.loss ~jitter:opts.jitter ~seed ())
+  in
+  let churn =
+    if opts.churn then
+      Some { Churn.default with Churn.fraction = opts.churn_fraction; seed }
+    else None
   in
   let config =
     {
@@ -184,6 +239,8 @@ let make_engine m opts ~seed =
           retries = opts.retries;
           policy;
         };
+      profile;
+      churn;
       budget =
         (if opts.probe_budget <= 0 then None
          else
@@ -231,7 +288,7 @@ let gen_cmd =
 
 let survey_cmd =
   let run matrix_file size seed =
-    let m = load_or_generate matrix_file size seed in
+    let m, _ = load_or_generate matrix_file size seed in
     Format.printf "%a@." Properties.pp (Properties.analyze m);
     let census = Triangle.census m in
     Printf.printf "triangles: %d/%d violate (%.1f%%), worst ratio %.2f\n"
@@ -251,10 +308,10 @@ let survey_cmd =
 
 let vivaldi_cmd =
   let run matrix_file size seed rounds dim dynamic candidates meas =
-    let m = load_or_generate matrix_file size seed in
+    let m, labels = load_or_generate matrix_file size seed in
     let config = { System.default_config with System.dim } in
     let rng = Rng.create seed in
-    let engine = make_engine m meas ~seed in
+    let engine = make_engine m ~labels meas ~seed in
     let system = Selectors.embed_vivaldi_engine ~config ~rounds rng engine in
     if dynamic > 0 then
       Dynamic_neighbors.run system
@@ -301,10 +358,10 @@ let vivaldi_cmd =
 
 let meridian_cmd =
   let run matrix_file size seed count beta tiv_aware no_termination meas =
-    let m = load_or_generate matrix_file size seed in
+    let m, labels = load_or_generate matrix_file size seed in
     let cfg = { Ring.default_config with Ring.beta } in
     let rng = Rng.create seed in
-    let engine = make_engine m meas ~seed in
+    let engine = make_engine m ~labels meas ~seed in
     let termination =
       if no_termination then Some Tivaware_meridian.Query.Any_improvement else None
     in
@@ -434,10 +491,10 @@ let repair_cmd =
 
 let alert_cmd =
   let run matrix_file size seed worst meas =
-    let m = load_or_generate matrix_file size seed in
+    let m, labels = load_or_generate matrix_file size seed in
     let severity = Severity.all m in
     let system = Selectors.embed_vivaldi (Rng.create seed) m in
-    let engine = make_engine m meas ~seed in
+    let engine = make_engine m ~labels meas ~seed in
     let points =
       Eval.evaluate_engine ~engine
         ~predicted:(fun i j -> System.predicted system i j)
@@ -504,7 +561,7 @@ let dht_cmd =
   let run matrix_file size seed lookups candidates pns meas =
     let module Chord = Tivaware_dht.Chord in
     let module Id_space = Tivaware_dht.Id_space in
-    let m = load_or_generate matrix_file size seed in
+    let m, labels = load_or_generate matrix_file size seed in
     let rng = Rng.create seed in
     let engine = ref None in
     let overlay =
@@ -514,7 +571,7 @@ let dht_cmd =
       | `Engine ->
         (* PNS probes pay the measurement plane (--loss, --retry-policy,
            --cache-capacity, ...). *)
-        let e = make_engine m meas ~seed in
+        let e = make_engine m ~labels meas ~seed in
         engine := Some e;
         Chord.build_engine ~candidates e
       | `Vivaldi ->
@@ -576,7 +633,7 @@ let dht_cmd =
 let multicast_cmd =
   let run matrix_file size seed max_degree refreshes tiv_aware measured meas =
     let module Multicast = Tivaware_overlay.Multicast in
-    let m = load_or_generate matrix_file size seed in
+    let m, labels = load_or_generate matrix_file size seed in
     let rng = Rng.create seed in
     let join_order = Rng.permutation rng (Matrix.size m) in
     let config = { Multicast.default_config with Multicast.max_degree } in
@@ -584,7 +641,7 @@ let multicast_cmd =
       if measured then begin
         (* Joins and refreshes probe candidate edges through the
            measurement plane instead of trusting coordinates. *)
-        let engine = make_engine m meas ~seed in
+        let engine = make_engine m ~labels meas ~seed in
         let t = Multicast.build_engine ~config engine ~join_order in
         let switches = ref 0 in
         for _ = 1 to refreshes do

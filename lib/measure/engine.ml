@@ -2,6 +2,8 @@ module Rng = Tivaware_util.Rng
 
 type config = {
   fault : Fault.config;
+  profile : Profile.t option;
+  churn : Churn.config option;
   budget : Budget.config option;
   cache_ttl : float option;
   cache_capacity : int option;
@@ -12,6 +14,8 @@ type config = {
 let default_config =
   {
     fault = Fault.default;
+    profile = None;
+    churn = None;
     budget = None;
     cache_ttl = None;
     cache_capacity = None;
@@ -27,6 +31,7 @@ type t = {
   config : config;
   oracle : Oracle.t;
   fault : Fault.t;
+  churn : Churn.t option;
   budget : Budget.t option;
   cache : Cache.t option;
   stats : Probe_stats.t;
@@ -35,6 +40,7 @@ type t = {
 
 let validate_config (config : config) =
   Fault.validate_config "Engine.create" config.fault;
+  Option.iter (Churn.validate_config "Engine.create") config.churn;
   Option.iter (Budget.validate_config "Engine.create") config.budget;
   (match config.cache_ttl with
   | Some ttl when Float.is_nan ttl || ttl <= 0. ->
@@ -57,10 +63,20 @@ let validate_config (config : config) =
 let create ?(config = default_config) oracle =
   validate_config config;
   let n = Oracle.size oracle in
+  let fault =
+    Fault.create ~config:config.fault ?profile:config.profile
+      (Rng.create config.seed) ~n
+  in
+  let churn = Option.map (fun c -> Churn.create ~config:c ~n ()) config.churn in
+  (* Churn owns the up/down state of its churning nodes from time 0 on
+     (everyone starts up); non-churning nodes keep whatever the
+     config.outage draw decided. *)
+  Option.iter (fun c -> Churn.sync c fault) churn;
   {
     config;
     oracle;
-    fault = Fault.create ~config:config.fault (Rng.create config.seed) ~n;
+    fault;
+    churn;
     budget = Option.map (fun b -> Budget.create b ~n) config.budget;
     cache =
       Option.map
@@ -77,14 +93,25 @@ let oracle t = t.oracle
 let size t = Oracle.size t.oracle
 let matrix_exn t = Oracle.matrix_exn t.oracle
 let fault t = t.fault
+let churn t = t.churn
 
 let now t = t.clock
 
+let sync_churn t =
+  match t.churn with
+  | None -> ()
+  | Some c -> Churn.drive c t.fault ~time:t.clock
+
 let advance t dt =
   if dt < 0. then invalid_arg "Engine.advance: negative step";
-  t.clock <- t.clock +. dt
+  t.clock <- t.clock +. dt;
+  sync_churn t
 
-let advance_to t time = if time > t.clock then t.clock <- time
+let advance_to t time =
+  if time > t.clock then begin
+    t.clock <- time;
+    sync_churn t
+  end
 
 type outcome =
   | Rtt of float
@@ -119,10 +146,13 @@ let probe_uncached t label i j =
     { outcome = Denied; cost = 0. }
   end
   else begin
-    let endpoint_down = Fault.node_down t.fault i || Fault.node_down t.fault j in
+    let endpoint_down =
+      Fault.node_down t.fault i || Fault.node_down t.fault j
+      || Fault.link_down t.fault i j
+    in
     (* The retry budget is sized once per request, from the issuer's
-       loss estimate as it stood before this request. *)
-    let retries = Fault.retry_budget t.fault i in
+       estimate of this link's loss as it stood before this request. *)
+    let retries = Fault.retry_budget t.fault i j in
     let rec attempt k =
       if k > 0 then begin
         st.Probe_stats.retried <- st.Probe_stats.retried + 1;
@@ -145,7 +175,7 @@ let probe_uncached t label i j =
         Probe_stats.record_issue st label;
         if endpoint_down then begin
           st.Probe_stats.lost <- st.Probe_stats.lost + 1;
-          Fault.record_outcome t.fault i ~lost:true;
+          Fault.record_outcome t.fault i j ~lost:true;
           cost := !cost +. timeout;
           if k < retries then attempt (k + 1)
           else begin
@@ -159,14 +189,14 @@ let probe_uncached t label i j =
             st.Probe_stats.unmeasured <- st.Probe_stats.unmeasured + 1;
             (* Indistinguishable from loss at the prober: it waits the
                timeout and its loss estimate takes the hit. *)
-            Fault.record_outcome t.fault i ~lost:true;
+            Fault.record_outcome t.fault i j ~lost:true;
             cost := !cost +. timeout;
             Unmeasured
           end
           else begin
-            match Fault.attempt t.fault ~rtt:true_rtt with
+            match Fault.attempt t.fault i j ~rtt:true_rtt with
             | Fault.Delivered sample ->
-              Fault.record_outcome t.fault i ~lost:false;
+              Fault.record_outcome t.fault i j ~lost:false;
               cost := !cost +. sample;
               Option.iter
                 (fun c ->
@@ -176,7 +206,7 @@ let probe_uncached t label i j =
               Rtt sample
             | Fault.Dropped ->
               st.Probe_stats.lost <- st.Probe_stats.lost + 1;
-              Fault.record_outcome t.fault i ~lost:true;
+              Fault.record_outcome t.fault i j ~lost:true;
               cost := !cost +. timeout;
               if k < retries then attempt (k + 1)
               else begin
@@ -210,8 +240,10 @@ let probe_timed ?label t i j =
         probe_uncached t label i j)
   in
   st.Probe_stats.probe_ms <- st.Probe_stats.probe_ms +. timed.cost;
-  if t.config.charge_time && timed.cost > 0. then
+  if t.config.charge_time && timed.cost > 0. then begin
     t.clock <- t.clock +. (timed.cost /. ms_per_second);
+    sync_churn t
+  end;
   timed
 
 let probe ?label t i j = (probe_timed ?label t i j).outcome

@@ -36,6 +36,17 @@
 
 type config = {
   fault : Fault.config;
+  profile : Profile.t option;
+      (** per-link network profile; [None] = a uniform profile built
+          from the global [fault] rates (the historical model, probe
+          for probe).  When present, the profile supplies every link's
+          loss/jitter/outage/extra-delay and the [fault] record only
+          contributes retries/policy/timeout/node-outage. *)
+  churn : Churn.config option;
+      (** seeded node up/down lifetimes; [None] = no churn.  The churn
+          schedule follows the engine clock (every {!advance},
+          {!advance_to} and charged probe), so event-driven drivers
+          slaving the clock to a simulator get churn "for free". *)
   budget : Budget.config option;  (** [None] = unlimited *)
   cache_ttl : float option;  (** [None] = on-demand (no cache) *)
   cache_capacity : int option;
@@ -47,8 +58,8 @@ type config = {
 }
 
 val default_config : config
-(** Oracle model: no faults, no budget, no cache, no time charging,
-    seed 0. *)
+(** Oracle model: no faults, no profile, no churn, no budget, no
+    cache, no time charging, seed 0. *)
 
 type t
 
@@ -56,8 +67,11 @@ val create : ?config:config -> Oracle.t -> t
 (** Raises [Invalid_argument] with a descriptive message on an invalid
     config: non-positive or NaN [cache_ttl], [cache_capacity < 1] or
     given without a [cache_ttl], budget capacities below one token or
-    negative/NaN rates ({!Budget.validate_config}), or fault/retry
-    parameters out of range ({!Fault.validate_config}). *)
+    negative/NaN rates ({!Budget.validate_config}), fault/retry
+    parameters out of range ({!Fault.validate_config}), churn
+    parameters out of range ({!Churn.validate_config}), or any per-link
+    profile entry out of range ({!Profile.validate}, which names the
+    offending link in the message). *)
 
 val of_matrix : ?config:config -> Tivaware_delay_space.Matrix.t -> t
 (** [create] over {!Oracle.of_matrix}; same validation. *)
@@ -72,6 +86,11 @@ val matrix_exn : t -> Tivaware_delay_space.Matrix.t
 
 val fault : t -> Fault.t
 (** The live fault injector (scenario hooks: {!Fault.set_down}). *)
+
+val churn : t -> Churn.t option
+(** The live churn model, when the config enables one.  Its schedule is
+    driven by this engine's clock; churning nodes' up/down state
+    overrides the static [fault.outage] draw. *)
 
 (** {2 Logical clock} *)
 
@@ -105,7 +124,7 @@ val probe_timed : ?label:string -> t -> int -> int -> timed
     cache lookup, then budget check ([Denied] costs nothing further),
     then up to [1 + retries] wire attempts through the fault injector,
     where the retry budget is sized at request start by the engine's
-    {!Fault.retry_policy} (per-node loss estimate under [Adaptive]).
+    {!Fault.retry_policy} (per-link loss estimate under [Adaptive]).
     Successful measurements are cached (service mode); capacity
     evictions land in {!Probe_stats.t.evicted}.  The budget is charged
     once per wire attempt, against node [i] and the global bucket.

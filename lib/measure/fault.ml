@@ -35,16 +35,33 @@ let default =
 let adaptive ?(backoff = default_backoff) ?(target_failure = 0.01) () =
   Adaptive { backoff; target_failure }
 
-(* EWMA weight for the per-node loss estimator.  Small enough to smooth
+(* EWMA weight for the loss estimators.  Small enough to smooth
    attempt-level noise, large enough that ~20 observed attempts move the
    estimate near the true rate. *)
 let loss_est_alpha = 0.1
 
+(* Shrinkage prior strength for the per-link estimate: a link with [c]
+   observed attempts is trusted with weight [c / (c + k)], the rest
+   coming from its source node's aggregate.  With k = 5, five samples
+   already split the estimate evenly. *)
+let loss_est_prior = 5.
+
 type t = {
   config : config;
+  profile : Profile.t;
+  n : int;
   rng : Rng.t;
   down : (int, unit) Hashtbl.t;
-  loss_est : float array;
+  (* Directed-link state, keyed by [i * n + j].  Hashtables, not n^2
+     arrays: only probed links ever materialize.  Each entry carries the
+     link's EWMA loss estimate and its attempt count. *)
+  loss_est : (int, float * int) Hashtbl.t;
+  (* Source-node aggregate estimate: the fallback prior for links with
+     few observations of their own (a prober that has seen 20% loss
+     across its links expects roughly that on a fresh link too). *)
+  node_loss_est : float array;
+  link_outage : (int, bool) Hashtbl.t;
+  link_salt : int;
 }
 
 let validate_backoff ctx b =
@@ -84,45 +101,112 @@ let validate_config ctx config =
         (Printf.sprintf "%s: target_failure must be in (0, 1) (got %g)" ctx
            target_failure)
 
-let create ?(config = default) rng ~n =
+let create ?(config = default) ?profile rng ~n =
   validate_config "Fault.create" config;
+  let profile =
+    match profile with
+    | Some p ->
+      Profile.validate "Fault.create" ~n p;
+      p
+    | None ->
+      (* Back-compat: the global config as a uniform profile.  Built
+         after config validation, so its fields are already in range. *)
+      Profile.of_rates ~loss:config.loss ~jitter:config.jitter
+  in
+  (* The per-link outage stream is salted from a copy of the generator
+     so drawing it never advances the main fault stream (a profile
+     without link outages stays probe-for-probe identical to the global
+     model). *)
+  let link_salt = Int64.to_int (Rng.int64 (Rng.copy rng)) land 0x3FFFFFFF in
   let down = Hashtbl.create 16 in
   let k = int_of_float (config.outage *. float_of_int n) in
   if k > 0 then
     Array.iter
       (fun i -> Hashtbl.replace down i ())
       (Rng.sample_indices rng ~n ~k);
-  { config; rng; down; loss_est = Array.make (max n 1) 0. }
+  {
+    config;
+    profile;
+    n;
+    rng;
+    down;
+    loss_est = Hashtbl.create 64;
+    node_loss_est = Array.make n 0.;
+    link_outage = Hashtbl.create 16;
+    link_salt;
+  }
 
 let config t = t.config
+let profile t = t.profile
 let node_down t i = Hashtbl.mem t.down i
 
 let set_down t i down =
   if down then Hashtbl.replace t.down i () else Hashtbl.remove t.down i
 
+let link t i j = Profile.link t.profile i j
+
+(* Whether the directed link is in outage for the injector's lifetime.
+   The draw is deterministic in (salt, i, j) and memoized, so it does
+   not depend on probe order and never consumes the main stream. *)
+let link_down t i j =
+  let p = (link t i j).Profile.outage in
+  if p <= 0. then false
+  else if p >= 1. then true
+  else begin
+    let key = (i * t.n) + j in
+    match Hashtbl.find_opt t.link_outage key with
+    | Some v -> v
+    | None ->
+      let r = Rng.create ((t.link_salt * 31) lxor (((i * 1_000_003) + j) * 7919)) in
+      let v = Rng.float r 1. < p in
+      Hashtbl.add t.link_outage key v;
+      v
+  end
+
 type attempt = Delivered of float | Dropped
 
-let attempt t ~rtt =
-  let c = t.config in
-  if c.loss > 0. && Rng.bernoulli t.rng c.loss then Dropped
+let attempt t i j ~rtt =
+  let lk = link t i j in
+  if lk.Profile.loss > 0. && Rng.bernoulli t.rng lk.Profile.loss then Dropped
   else begin
+    let rtt = rtt +. lk.Profile.extra_delay in
     let sample =
-      if c.jitter > 0. then
-        rtt *. Rng.uniform t.rng (1. -. c.jitter) (1. +. c.jitter)
+      if lk.Profile.jitter > 0. then
+        rtt *. Rng.uniform t.rng (1. -. lk.Profile.jitter) (1. +. lk.Profile.jitter)
       else rtt
     in
     Delivered sample
   end
 
-let record_outcome t i ~lost =
-  if i >= 0 && i < Array.length t.loss_est then begin
+let link_key t i j = (i * t.n) + j
+
+let ewma prev sample = (loss_est_alpha *. sample) +. ((1. -. loss_est_alpha) *. prev)
+
+let record_outcome t i j ~lost =
+  if i >= 0 && i < t.n && j >= 0 && j < t.n then begin
+    let key = link_key t i j in
+    let prev, count =
+      Option.value ~default:(0., 0) (Hashtbl.find_opt t.loss_est key)
+    in
     let sample = if lost then 1. else 0. in
-    t.loss_est.(i) <-
-      (loss_est_alpha *. sample) +. ((1. -. loss_est_alpha) *. t.loss_est.(i))
+    Hashtbl.replace t.loss_est key (ewma prev sample, count + 1);
+    t.node_loss_est.(i) <- ewma t.node_loss_est.(i) sample
   end
 
-let estimated_loss t i =
-  if i >= 0 && i < Array.length t.loss_est then t.loss_est.(i) else 0.
+(* Per-link EWMA shrunk toward the source node's aggregate: the link's
+   own observations dominate once it has a handful of samples, while a
+   cold link inherits what its prober has seen elsewhere — so sparse
+   workloads still warm the adaptive retry budget, and a hot lossy link
+   is still distinguished from its clean siblings. *)
+let estimated_loss t i j =
+  if i >= 0 && i < t.n && j >= 0 && j < t.n then begin
+    let le, count =
+      Option.value ~default:(0., 0) (Hashtbl.find_opt t.loss_est (link_key t i j))
+    in
+    let w = float_of_int count /. (float_of_int count +. loss_est_prior) in
+    (w *. le) +. ((1. -. w) *. t.node_loss_est.(i))
+  end
+  else 0.
 
 (* Smallest r such that p^(r+1) <= eps: retrying past that point buys
    residual failure probability the policy already considers acceptable. *)
@@ -134,12 +218,12 @@ let needed_retries ~loss ~target_failure =
     if Float.is_nan r || r > 1e9 then max_int else max 0 (int_of_float r)
   end
 
-let retry_budget t i =
+let retry_budget t i j =
   match t.config.policy with
   | Fixed | Backoff _ -> t.config.retries
   | Adaptive { target_failure; _ } ->
     min t.config.retries
-      (needed_retries ~loss:(estimated_loss t i) ~target_failure)
+      (needed_retries ~loss:(estimated_loss t i j) ~target_failure)
 
 let policy_backoff = function
   | Fixed -> None

@@ -3,12 +3,17 @@
     Models the failure modes that separate real measurement from an
     oracle (cf. TimeWeaver's opportunistic, noisy measurements):
     per-attempt {e loss}, multiplicative {e jitter} on the measured
-    RTT, and whole-node {e outages} — plus the {e retry policy} a real
-    prober runs against them.  All randomness is drawn from the
-    injector's own generator, so a fixed seed and probe sequence
-    reproduce the exact same faults — and a zero-fault [Fixed] config
-    never consults the generator, keeping fault-free runs bit-identical
-    to the oracle path.
+    RTT, whole-node {e outages}, and — through a per-link
+    {!Profile} — link-correlated heterogeneity: each directed link can
+    carry its own loss, jitter, outage and extra-delay parameters, and
+    the retry machinery estimates loss {e per link} rather than per
+    node.  All randomness is drawn from the injector's own generator,
+    so a fixed seed and probe sequence reproduce the exact same
+    faults — and a zero-fault [Fixed] config never consults the
+    generator, keeping fault-free runs bit-identical to the oracle
+    path.  A {!Profile.uniform} profile built from the global config
+    rates draws the same stream as the historical global model, so it
+    is probe-for-probe identical under the same seed.
 
     All delays are in the oracle's RTT unit (milliseconds by
     convention); the {!Engine} converts to logical seconds when it
@@ -29,10 +34,10 @@ type retry_policy =
   | Backoff of backoff
       (** up to [retries] retransmissions, exponentially delayed *)
   | Adaptive of { backoff : backoff; target_failure : float }
-      (** the per-node loss-rate estimate sizes each request's retry
+      (** the per-link loss-rate estimate sizes each request's retry
           budget: just enough retries that the residual failure
           probability drops below [target_failure], never more than
-          [retries].  Nodes seeing no loss stop retrying entirely. *)
+          [retries].  Links seeing no loss stop retrying entirely. *)
 
 val adaptive : ?backoff:backoff -> ?target_failure:float -> unit -> retry_policy
 (** [Adaptive] with {!default_backoff} and [target_failure = 0.01]. *)
@@ -58,40 +63,63 @@ val validate_config : string -> config -> unit
 
 type t
 
-val create : ?config:config -> Tivaware_util.Rng.t -> n:int -> t
+val create : ?config:config -> ?profile:Profile.t -> Tivaware_util.Rng.t -> n:int -> t
 (** The outage set ([floor (outage * n)] distinct nodes) is drawn
-    immediately so it is fixed for the injector's lifetime.  Raises
-    [Invalid_argument] on an invalid config (see {!validate_config}). *)
+    immediately so it is fixed for the injector's lifetime.  When
+    [profile] is given it supplies every link's loss/jitter/outage/
+    extra-delay (the config's [loss] and [jitter] then only describe
+    the legacy global rates and are not consulted); otherwise a
+    {!Profile.uniform} profile is built from the config, reproducing
+    the global model exactly.  Raises [Invalid_argument] on an invalid
+    config ({!validate_config}) or profile ({!Profile.validate}, which
+    names the offending link). *)
 
 val config : t -> config
+
+val profile : t -> Profile.t
+
+val link : t -> int -> int -> Profile.link
+(** The profile parameters of the directed link [i -> j]. *)
 
 val node_down : t -> int -> bool
 
 val set_down : t -> int -> bool -> unit
-(** Scenario hook: force a node in or out of outage. *)
+(** Scenario hook: force a node in or out of outage ({!Churn} drives
+    this from its schedule). *)
+
+val link_down : t -> int -> int -> bool
+(** Whether the directed link is in outage for the injector's
+    lifetime.  Fractional {!Profile.link.outage} rates are resolved by
+    a memoized draw that is deterministic in [(seed, i, j)] and never
+    consumes the main fault stream. *)
 
 type attempt =
-  | Delivered of float  (** jittered RTT sample *)
+  | Delivered of float  (** jittered RTT sample (extra delay included) *)
   | Dropped
 
-val attempt : t -> rtt:float -> attempt
-(** One wire attempt for a probe whose true RTT is [rtt].  Draws loss
-    first, then jitter, so loss and jitter streams stay aligned across
-    configs with equal loss. *)
+val attempt : t -> int -> int -> rtt:float -> attempt
+(** One wire attempt on the directed link [i -> j] whose true RTT is
+    [rtt].  Draws loss first, then jitter, so loss and jitter streams
+    stay aligned across profiles with equal parameters; the link's
+    [extra_delay] is added to the RTT before jitter. *)
 
-(** {2 Per-node loss estimation and retry budgets} *)
+(** {2 Per-link loss estimation and retry budgets} *)
 
-val record_outcome : t -> int -> lost:bool -> unit
-(** Feed one wire-attempt outcome observed by source node [i] into its
-    EWMA loss-rate estimator (a node cannot distinguish loss from a
-    peer outage, so both count as lost). *)
+val record_outcome : t -> int -> int -> lost:bool -> unit
+(** Feed one wire-attempt outcome observed by source node [i] probing
+    [j] into the loss-rate estimators (a prober cannot distinguish loss
+    from a peer outage, so both count as lost).  Updates both the
+    directed link's EWMA and the source node's aggregate EWMA. *)
 
-val estimated_loss : t -> int -> float
-(** Node [i]'s current loss-rate estimate in [0, 1] (0 before any
-    observation). *)
+val estimated_loss : t -> int -> int -> float
+(** The directed link's current loss-rate estimate in [0, 1] (0 before
+    any observation).  The per-link EWMA is shrunk toward the source
+    node's aggregate estimate in proportion to the link's own sample
+    count, so a cold link inherits its prober's experience while a
+    well-observed link is judged on its own record. *)
 
-val retry_budget : t -> int -> int
-(** Retries the policy grants a request issued by node [i]:
+val retry_budget : t -> int -> int -> int
+(** Retries the policy grants a request issued by node [i] toward [j]:
     [config.retries] under [Fixed]/[Backoff]; under [Adaptive], the
     smallest [r] with [loss_est^(r+1) <= target_failure], capped at
     [config.retries]. *)

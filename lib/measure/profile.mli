@@ -1,0 +1,89 @@
+(** Per-link network profiles for fault injection.
+
+    The measurement plane's original fault model applied one global
+    loss/jitter setting to every probe, which cannot reproduce the
+    link-correlated error patterns real paths show: access links of
+    poorly-connected hosts are lossy, long-haul inter-cluster paths are
+    jittery, and TIV damage concentrates on specific edges.  A profile
+    assigns each {e directed} link [(i, j)] its own fault parameters;
+    the {!Fault} injector consults the profile on every wire attempt.
+
+    Profiles are pure: parameter lookup never touches the injector's
+    random stream, so a {!uniform} profile built from the old global
+    rates reproduces the global model probe for probe under the same
+    seed, and an all-zero profile never consults the generator at all
+    (bit-identical to oracle mode). *)
+
+type link = {
+  loss : float;  (** per-attempt loss probability in [0, 1] *)
+  jitter : float;
+      (** multiplicative noise: measured RTT is
+          [true_rtt * uniform(1 - jitter, 1 + jitter)], in [0, 1) *)
+  outage : float;
+      (** probability the directed link is down for the injector's
+          whole lifetime, in [0, 1] (1 = certainly down) *)
+  extra_delay : float;
+      (** ms added to the true RTT before jitter (path detour /
+          bufferbloat on that link), >= 0 *)
+}
+
+val clean : link
+(** All-zero link: lossless, jitter-free, always up, no extra delay. *)
+
+type t
+
+val name : t -> string
+
+val link : t -> int -> int -> link
+(** Parameters of the directed link [i -> j].  Self links are always
+    {!clean}. *)
+
+val uniform : ?name:string -> link -> t
+(** Every directed link carries the same parameters — the back-compat
+    constructor the engine builds from a global {!Fault.config}. *)
+
+val of_rates : loss:float -> jitter:float -> t
+(** [uniform] over [{ clean with loss; jitter }]. *)
+
+val make : string -> (int -> int -> link) -> t
+(** Arbitrary per-link profile; [f i j] must be pure and total for all
+    [i <> j] in range (it is consulted on every wire attempt and during
+    validation). *)
+
+val topology :
+  ?name:string ->
+  loss:float ->
+  jitter:float ->
+  cluster_of:int array ->
+  unit ->
+  t
+(** Topology-derived heterogeneity from cluster labels ([cluster_of.(i)]
+    is node [i]'s cluster, [-1] = noise host), as produced by
+    [Tivaware_topology.Generator] ([cluster_of]) or
+    [Tivaware_delay_space.Clustering] ([label]).  Links touching a noise
+    host model lossy access links ([3 * loss], capped); inter-cluster
+    links model jittery long-haul paths ([2 * jitter], capped, half
+    loss); intra-cluster links are comparatively clean ([loss / 4],
+    [jitter / 4]). *)
+
+val random :
+  ?name:string ->
+  ?outage:float ->
+  loss:float ->
+  jitter:float ->
+  seed:int ->
+  unit ->
+  t
+(** Seeded heterogeneous profile: each directed link draws its loss and
+    jitter uniformly from [[0, 2 * base)] (mean = base, so sweeps
+    compare equal average severity against {!uniform}), and is down for
+    the injector's lifetime with probability [outage] (default 0).
+    Parameters depend only on [(seed, i, j)], never on query order. *)
+
+val validate_link : string -> id:string -> link -> unit
+(** Raises [Invalid_argument] naming [id] (the offending link) on
+    NaN/out-of-range loss, jitter, outage or extra delay. *)
+
+val validate : string -> n:int -> t -> unit
+(** Validates every directed link of an [n]-node profile; the error
+    message carries the offending link as ["i->j"]. *)

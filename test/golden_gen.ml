@@ -1,0 +1,208 @@
+(* Golden-trace generator for the measurement plane.
+
+   Emits deterministic digests of four end-to-end behaviours into
+   [golden_*.actual] files; dune diffs them against the committed
+   fixtures under [fixtures/] on every [dune runtest], so any drift in
+   the RNG streams, the fault model, per-link profiles, churn schedules
+   or the protocol layers above them shows up as a readable diff.
+   After an intentional change, refresh the fixtures with
+   [dune promote].
+
+   Everything is seeded and float output is rounded, so the digests are
+   stable across runs and (modulo libm last-ulp drift, which the small
+   precision absorbs) across machines. *)
+
+module Rng = Tivaware_util.Rng
+module Stats = Tivaware_util.Stats
+module Matrix = Tivaware_delay_space.Matrix
+module Datasets = Tivaware_topology.Datasets
+module Generator = Tivaware_topology.Generator
+module Severity = Tivaware_tiv.Severity
+module Eval = Tivaware_tiv.Eval
+module System = Tivaware_vivaldi.System
+module Ring = Tivaware_meridian.Ring
+module Query = Tivaware_meridian.Query
+module Selectors = Tivaware_core.Selectors
+module Engine = Tivaware_measure.Engine
+module Fault = Tivaware_measure.Fault
+module Profile = Tivaware_measure.Profile
+module Churn = Tivaware_measure.Churn
+module Probe_stats = Tivaware_measure.Probe_stats
+
+let n = 80
+let world_seed = 7
+
+let data = Datasets.generate ~size:n ~seed:world_seed Datasets.Ds2
+let m = data.Generator.matrix
+let cluster_of = data.Generator.cluster_of
+
+let engine ?profile ?churn ?(charge_time = false) ~loss ~jitter ~seed () =
+  Engine.of_matrix
+    ~config:
+      {
+        Engine.fault =
+          { Fault.default with Fault.loss; jitter; retries = 1 };
+        profile;
+        churn;
+        budget = None;
+        cache_ttl = None;
+        cache_capacity = None;
+        charge_time;
+        seed;
+      }
+    m
+
+let with_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* ------------------------------------------------------------------ *)
+(* Vivaldi: final coordinates and error estimates after embedding
+   through a faulty engine. *)
+
+let vivaldi () =
+  with_file "golden_vivaldi.actual" (fun oc ->
+      let e = engine ~loss:0.05 ~jitter:0.1 ~seed:11 () in
+      let system =
+        Selectors.embed_vivaldi_engine ~rounds:60 (Rng.create 13) e
+      in
+      Printf.fprintf oc "# vivaldi final coordinates: n=%d rounds=60 loss=0.05 jitter=0.10\n" n;
+      for i = 0 to n - 1 do
+        let c = System.coord system i in
+        Printf.fprintf oc "%03d err=%.4f [%s]\n" i
+          (System.error_estimate system i)
+          (String.concat " "
+             (Array.to_list (Array.map (Printf.sprintf "%.3f") c)))
+      done;
+      let st = Engine.stats e in
+      Printf.fprintf oc "probes issued=%d lost=%d failed=%d\n"
+        st.Probe_stats.issued st.Probe_stats.lost st.Probe_stats.failed)
+
+(* ------------------------------------------------------------------ *)
+(* Meridian: a query trace through a topology-derived profile. *)
+
+let meridian () =
+  with_file "golden_meridian.actual" (fun oc ->
+      let profile = Profile.topology ~loss:0.1 ~jitter:0.2 ~cluster_of () in
+      let e = engine ~profile ~loss:0.1 ~jitter:0.2 ~seed:17 () in
+      let nodes = Rng.sample_indices (Rng.create 19) ~n ~k:24 in
+      let cfg = Ring.unlimited_config n in
+      let overlay = Selectors.meridian_build m cfg (Rng.create 23) nodes in
+      Printf.fprintf oc
+        "# meridian query trace: n=%d meridian=24 profile=topo loss=0.10 jitter=0.20\n"
+        n;
+      let pick = Rng.create 29 in
+      for q = 0 to 39 do
+        let start = nodes.(Rng.int pick (Array.length nodes)) in
+        let target = Rng.int pick n in
+        if Array.mem target nodes || Matrix.is_missing m start target then
+          Printf.fprintf oc "q%02d start=%02d target=%02d skipped\n" q start
+            target
+        else begin
+          let o =
+            Query.closest_engine ~termination:Query.Any_improvement overlay e
+              ~start ~target
+          in
+          Printf.fprintf oc
+            "q%02d start=%02d target=%02d chosen=%02d delay=%s probes=%d hops=%d path=%s\n"
+            q start target o.Query.chosen
+            (if Float.is_nan o.Query.chosen_delay then "nan"
+             else Printf.sprintf "%.2f" o.Query.chosen_delay)
+            o.Query.probes o.Query.hops
+            (String.concat "," (List.map string_of_int o.Query.path))
+        end
+      done;
+      let st = Engine.stats e in
+      Printf.fprintf oc "probes issued=%d lost=%d failed=%d down=%d\n"
+        st.Probe_stats.issued st.Probe_stats.lost st.Probe_stats.failed
+        st.Probe_stats.down)
+
+(* ------------------------------------------------------------------ *)
+(* TIV alert: severity CDF digest and engine-measured alert quality. *)
+
+let alert () =
+  with_file "golden_alert.actual" (fun oc ->
+      let severity = Severity.all m in
+      let sev = Matrix.delays severity in
+      Printf.fprintf oc "# tiv alert: severity CDF digest and alert sweep\n";
+      Printf.fprintf oc "severity edges=%d\n" (Array.length sev);
+      List.iter
+        (fun p ->
+          Printf.fprintf oc "severity p%02.0f=%.4f\n" p (Stats.percentile sev p))
+        [ 10.; 25.; 50.; 75.; 90.; 99. ];
+      let system = Selectors.embed_vivaldi (Rng.create 31) m in
+      let e = engine ~loss:0.05 ~jitter:0.1 ~seed:37 () in
+      let points =
+        Eval.evaluate_engine ~engine:e
+          ~predicted:(fun i j -> System.predicted system i j)
+          ~severity ~worst_fraction:0.1 ~thresholds:Eval.default_thresholds
+      in
+      List.iter
+        (fun p ->
+          Printf.fprintf oc
+            "threshold=%.1f alerts=%d accuracy=%.4f recall=%.4f\n"
+            p.Eval.threshold p.Eval.alerts p.Eval.accuracy p.Eval.recall)
+        points)
+
+(* ------------------------------------------------------------------ *)
+(* Profiles and churn: per-link parameters and a schedule digest. *)
+
+let profile () =
+  with_file "golden_profile.actual" (fun oc ->
+      let topo = Profile.topology ~loss:0.1 ~jitter:0.2 ~cluster_of () in
+      let random = Profile.random ~loss:0.1 ~jitter:0.2 ~seed:41 () in
+      Printf.fprintf oc "# per-link profiles (sample links) and churn schedule\n";
+      let pick = Rng.create 43 in
+      for _ = 1 to 12 do
+        let i = Rng.int pick n in
+        let j = (i + 1 + Rng.int pick (n - 1)) mod n in
+        let pr name p =
+          let l = Profile.link p i j in
+          Printf.fprintf oc
+            "%s %02d->%02d loss=%.4f jitter=%.4f outage=%.1f extra=%.1f\n" name
+            i j l.Profile.loss l.Profile.jitter l.Profile.outage
+            l.Profile.extra_delay
+        in
+        pr "topo  " topo;
+        pr "random" random
+      done;
+      let churn =
+        Churn.create ~config:{ Churn.default with Churn.seed = 47 } ~n ()
+      in
+      Array.iter
+        (fun t ->
+          Churn.advance_to churn t;
+          let up = ref 0 in
+          let bits = Buffer.create n in
+          for i = 0 to n - 1 do
+            if Churn.is_up churn i then begin
+              incr up;
+              Buffer.add_char bits '1'
+            end
+            else Buffer.add_char bits '0'
+          done;
+          Printf.fprintf oc "churn t=%03.0f transitions=%d up=%d %s\n" t
+            (Churn.transitions churn) !up (Buffer.contents bits))
+        [| 0.; 30.; 60.; 120.; 240. |];
+      (* A charged workload over a random profile with churn: the full
+         stack (profile draws, outage windows, retry accounting, clock
+         charging) in one digest. *)
+      let e =
+        engine ~profile:random
+          ~churn:{ Churn.default with Churn.seed = 47 }
+          ~charge_time:true ~loss:0.1 ~jitter:0.2 ~seed:53 ()
+      in
+      let wl = Rng.create 59 in
+      for _ = 1 to 600 do
+        let i = Rng.int wl n in
+        let j = (i + 1 + Rng.int wl (n - 1)) mod n in
+        ignore (Engine.rtt e i j)
+      done;
+      Printf.fprintf oc "workload clock=%.3f stats: %s\n" (Engine.now e)
+        (Format.asprintf "%a" Probe_stats.pp (Engine.stats e)))
+
+let () =
+  vivaldi ();
+  meridian ();
+  alert ();
+  profile ()

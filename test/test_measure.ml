@@ -22,11 +22,20 @@ let checki = Alcotest.(check int)
 let euclidean_matrix seed n =
   Euclidean.uniform_box (Rng.create seed) ~n ~dim:3 ~side_ms:300.
 
-let engine ?(fault = Fault.default) ?budget ?cache_ttl ?cache_capacity
-    ?(charge_time = false) ?(seed = 7) m =
+let engine ?(fault = Fault.default) ?profile ?churn ?budget ?cache_ttl
+    ?cache_capacity ?(charge_time = false) ?(seed = 7) m =
   Engine.of_matrix
     ~config:
-      { Engine.fault; budget; cache_ttl; cache_capacity; charge_time; seed }
+      {
+        Engine.fault;
+        profile;
+        churn;
+        budget;
+        cache_ttl;
+        cache_capacity;
+        charge_time;
+        seed;
+      }
     m
 
 (* ------------------------------------------------------------------ *)
@@ -383,7 +392,7 @@ let test_online_loss_inflates_simulator_time () =
 let test_adaptive_beats_fixed_retry_cost () =
   (* Under 20% loss, the adaptive policy must spend fewer wire attempts
      than always-retry-3 while keeping a comparable success rate.  The
-     tolerance absorbs adaptive's warmup: until the per-node loss
+     tolerance absorbs adaptive's warmup: until a prober's loss
      estimate rises from zero it grants no retries, so the first
      requests of each prober fail at the raw loss rate. *)
   let m = euclidean_matrix 35 40 in

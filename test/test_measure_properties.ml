@@ -11,6 +11,8 @@ module Euclidean = Tivaware_topology.Euclidean
 module Budget = Tivaware_measure.Budget
 module Cache = Tivaware_measure.Cache
 module Fault = Tivaware_measure.Fault
+module Profile = Tivaware_measure.Profile
+module Churn = Tivaware_measure.Churn
 module Engine = Tivaware_measure.Engine
 module Probe_stats = Tivaware_measure.Probe_stats
 module Sim = Tivaware_eventsim.Sim
@@ -18,6 +20,13 @@ module Ring = Tivaware_meridian.Ring
 module Query = Tivaware_meridian.Query
 module Overlay = Tivaware_meridian.Overlay
 module Online = Tivaware_meridian.Online
+module Selectors = Tivaware_core.Selectors
+module System = Tivaware_vivaldi.System
+module Severity = Tivaware_tiv.Severity
+module Eval = Tivaware_tiv.Eval
+module Chord = Tivaware_dht.Chord
+module Id_space = Tivaware_dht.Id_space
+module Multicast = Tivaware_overlay.Multicast
 
 let prop_seed =
   match Sys.getenv_opt "TIVAWARE_PROP_SEED" with
@@ -474,23 +483,251 @@ let test_adaptive_retry_budget_bounds () =
         policy = Fault.adaptive ~target_failure ();
       }
     in
-    let f = Fault.create ~config (Rng.create 1) ~n:2 in
-    checki "fresh node needs no retries" 0 (Fault.retry_budget f 0);
-    (* Drive the loss estimate up with observed losses. *)
+    let f = Fault.create ~config (Rng.create 1) ~n:3 in
+    checki "fresh link needs no retries" 0 (Fault.retry_budget f 0 1);
+    (* Drive the link's loss estimate up with observed losses. *)
     let prev = ref 0 in
     for _ = 1 to 60 do
-      Fault.record_outcome f 0 ~lost:true;
-      let b = Fault.retry_budget f 0 in
+      Fault.record_outcome f 0 1 ~lost:true;
+      let b = Fault.retry_budget f 0 1 in
       checkb "budget within cap" true (b >= 0 && b <= retries);
       checkb "budget non-decreasing as loss grows" true (b >= !prev);
       prev := b
     done;
     checkb "high loss earns retries" true (!prev >= 1);
+    (* A cold sibling link inherits the prober's aggregate experience;
+       a different prober's links are untouched. *)
+    checkb "cold sibling inherits prober estimate" true
+      (Fault.retry_budget f 0 2 >= 1);
+    checki "other prober unaffected" 0 (Fault.retry_budget f 1 0);
     (* And back down with successes. *)
     for _ = 1 to 200 do
-      Fault.record_outcome f 0 ~lost:false
+      Fault.record_outcome f 0 1 ~lost:false
     done;
-    checki "recovered node needs none again" 0 (Fault.retry_budget f 0)
+    checki "recovered link needs none again" 0 (Fault.retry_budget f 0 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Per-link profiles                                                    *)
+
+let zero_profile = Profile.uniform ~name:"zero" Profile.clean
+
+(* An all-zero per-link profile is the oracle, on every protocol layer:
+   the profile machinery must add no RNG draws, no costs and no state,
+   so each protocol's run is structurally identical with and without
+   it. *)
+let test_zero_fault_profile_equals_oracle_protocols () =
+  let g = rng 17 in
+  let n = 40 in
+  let m = random_matrix g ~n in
+  let mk profile =
+    Engine.of_matrix
+      ~config:{ Engine.default_config with Engine.profile; seed = Rng.int g 10_000 }
+      m
+  in
+  (* Vivaldi: bit-identical final coordinates. *)
+  let coords profile =
+    let sys =
+      Selectors.embed_vivaldi_engine ~rounds:40 (Rng.create 21) (mk profile)
+    in
+    Array.init n (fun i -> (System.coord sys i, System.error_estimate sys i))
+  in
+  checkb "vivaldi coordinates bit-identical" true
+    (coords None = coords (Some zero_profile));
+  (* Meridian: identical query traces (chosen, delay, probes, hops,
+     path). *)
+  let nodes = Rng.sample_indices (Rng.create 23) ~n ~k:15 in
+  let overlay =
+    Selectors.meridian_build m (Ring.unlimited_config n) (Rng.create 25) nodes
+  in
+  let meridian_trace profile =
+    let e = mk profile in
+    let pick = Rng.create 27 in
+    List.init 25 (fun _ ->
+        let start = nodes.(Rng.int pick (Array.length nodes)) in
+        let target = Rng.int pick n in
+        if Array.mem target nodes then None
+        else Some (Query.closest_engine overlay e ~start ~target))
+  in
+  checkb "meridian traces identical" true
+    (meridian_trace None = meridian_trace (Some zero_profile));
+  (* TIV alert: identical accuracy/recall sweep. *)
+  let system = Selectors.embed_vivaldi (Rng.create 29) m in
+  let severity = Severity.all m in
+  let alert_points profile =
+    Eval.evaluate_engine ~engine:(mk profile)
+      ~predicted:(fun i j -> System.predicted system i j)
+      ~severity ~worst_fraction:0.1 ~thresholds:Eval.default_thresholds
+  in
+  checkb "alert sweep identical" true
+    (alert_points None = alert_points (Some zero_profile));
+  (* Chord PNS: identical fingers, hence identical lookups. *)
+  let dht_digest profile =
+    let overlay = Chord.build_engine ~candidates:6 (mk profile) in
+    let r = Rng.create 31 in
+    List.init 40 (fun _ ->
+        let l =
+          Chord.lookup overlay m ~source:(Rng.int r n)
+            ~key:(Rng.int r Id_space.modulus)
+        in
+        (l.Chord.hops, l.Chord.latency))
+  in
+  checkb "dht lookups identical" true
+    (dht_digest None = dht_digest (Some zero_profile));
+  (* Overlay multicast: identical tree metrics and refresh switches. *)
+  let multicast_digest profile =
+    let e = mk profile in
+    let join_order = Rng.permutation (Rng.create 33) n in
+    let t = Multicast.build_engine ~config:Multicast.default_config e ~join_order in
+    let switches = Multicast.refresh_engine t (Rng.create 35) e in
+    (Multicast.evaluate t m, switches)
+  in
+  checkb "multicast tree identical" true
+    (multicast_digest None = multicast_digest (Some zero_profile))
+
+(* A uniform profile built from the global rates reproduces the
+   historical global fault model probe for probe: same outcomes, same
+   costs, same counters, same clock — under the same seed, for any
+   config. *)
+let test_uniform_profile_matches_global_model () =
+  let g = rng 18 in
+  for _ = 1 to 15 do
+    let n = 10 + Rng.int g 10 in
+    let m = random_matrix ~missing:(Rng.uniform g 0. 0.2) g ~n in
+    let loss = Rng.uniform g 0. 0.5 in
+    let jitter = Rng.uniform g 0. 0.4 in
+    let outage = Rng.uniform g 0. 0.2 in
+    let retries = Rng.int g 3 in
+    let policy =
+      match Rng.int g 3 with
+      | 0 -> Fault.Fixed
+      | 1 -> Fault.Backoff { Fault.default_backoff with Fault.delay_jitter = 0.1 }
+      | _ -> Fault.adaptive ~target_failure:0.05 ()
+    in
+    let fault =
+      { Fault.default with Fault.loss; jitter; outage; retries; policy }
+    in
+    let seed = Rng.int g 100_000 in
+    let mk profile =
+      Engine.of_matrix
+        ~config:
+          {
+            Engine.default_config with
+            Engine.fault;
+            profile;
+            charge_time = true;
+            seed;
+          }
+        m
+    in
+    let a = mk None and b = mk (Some (Profile.of_rates ~loss ~jitter)) in
+    let wl_seed = Rng.int g 100_000 in
+    let replay e =
+      let wl = Rng.create wl_seed in
+      List.init 300 (fun _ ->
+          let i, j = random_pair wl n in
+          Engine.probe_timed e i j)
+    in
+    let ta = replay a and tb = replay b in
+    List.iter2
+      (fun (x : Engine.timed) (y : Engine.timed) ->
+        checkb "outcome identical" true (x.Engine.outcome = y.Engine.outcome);
+        Alcotest.(check (float 0.)) "cost identical" x.Engine.cost y.Engine.cost)
+      ta tb;
+    let sa = Engine.stats a and sb = Engine.stats b in
+    checki "issued identical" sa.Probe_stats.issued sb.Probe_stats.issued;
+    checki "lost identical" sa.Probe_stats.lost sb.Probe_stats.lost;
+    checki "retried identical" sa.Probe_stats.retried sb.Probe_stats.retried;
+    checki "down identical" sa.Probe_stats.down sb.Probe_stats.down;
+    Alcotest.(check (float 0.))
+      "probe_ms identical" sa.Probe_stats.probe_ms sb.Probe_stats.probe_ms;
+    Alcotest.(check (float 0.)) "clock identical" (Engine.now a) (Engine.now b)
+  done
+
+(* The per-link loss estimator converges to each link's configured rate
+   (time-averaged over the EWMA's stationary noise), and keeps links of
+   the same prober apart. *)
+let test_per_link_estimate_converges () =
+  let g = rng 19 in
+  for _ = 1 to 10 do
+    let f = Fault.create (Rng.create (Rng.int g 10_000)) ~n:6 in
+    List.iter
+      (fun (i, j) ->
+        let rate = Rng.uniform g 0.05 0.9 in
+        let sum = ref 0. and count = ref 0 in
+        for k = 1 to 3000 do
+          Fault.record_outcome f i j ~lost:(Rng.bernoulli g rate);
+          if k > 500 then begin
+            sum := !sum +. Fault.estimated_loss f i j;
+            incr count
+          end
+        done;
+        let avg = !sum /. float_of_int !count in
+        checkb
+          (Printf.sprintf "estimate tracks configured rate (%.3f vs %.3f)" avg
+             rate)
+          true
+          (abs_float (avg -. rate) < 0.08))
+      [ (0, 1); (0, 2); (3, 4) ]
+  done;
+  (* Discrimination: a prober with one lossy and one clean link keeps
+     their estimates apart even though both feed its node aggregate. *)
+  let f = Fault.create (Rng.create 1) ~n:4 in
+  for _ = 1 to 500 do
+    Fault.record_outcome f 0 1 ~lost:true;
+    Fault.record_outcome f 0 2 ~lost:false
+  done;
+  checkb "lossy link estimated high" true (Fault.estimated_loss f 0 1 > 0.9);
+  checkb "clean sibling estimated low" true (Fault.estimated_loss f 0 2 < 0.1)
+
+(* Per-link profile validation rejects out-of-range entries and names
+   the offending link in the message, field by field. *)
+let test_profile_validation_names_link () =
+  let g = rng 20 in
+  let m = random_matrix g ~n:6 in
+  let contains s sub =
+    let ls = String.length s and lb = String.length sub in
+    let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+    go 0
+  in
+  let expect_bad ~field bad_link =
+    (* Only link 2->3 is malformed; the message must say so. *)
+    let profile =
+      Profile.make "bad" (fun i j ->
+          if i = 2 && j = 3 then bad_link else Profile.clean)
+    in
+    let config = { Engine.default_config with Engine.profile = Some profile } in
+    match Engine.of_matrix ~config m with
+    | _ -> Alcotest.failf "bad %s accepted" field
+    | exception Invalid_argument msg ->
+      checkb (Printf.sprintf "%s error names the link (%s)" field msg) true
+        (contains msg "2->3");
+      checkb (Printf.sprintf "%s error names the field (%s)" field msg) true
+        (contains msg field)
+  in
+  expect_bad ~field:"loss" { Profile.clean with Profile.loss = 1.5 };
+  expect_bad ~field:"loss" { Profile.clean with Profile.loss = -0.1 };
+  expect_bad ~field:"loss" { Profile.clean with Profile.loss = Float.nan };
+  expect_bad ~field:"jitter" { Profile.clean with Profile.jitter = 1. };
+  expect_bad ~field:"jitter" { Profile.clean with Profile.jitter = Float.nan };
+  expect_bad ~field:"outage" { Profile.clean with Profile.outage = 2. };
+  expect_bad ~field:"outage" { Profile.clean with Profile.outage = -1. };
+  expect_bad ~field:"extra_delay" { Profile.clean with Profile.extra_delay = -5. };
+  expect_bad ~field:"extra_delay"
+    { Profile.clean with Profile.extra_delay = Float.nan };
+  (* Exact message shape, pinned once. *)
+  Alcotest.check_raises "exact message"
+    (Invalid_argument "ctx: link 2->3: loss must be in [0, 1] (got 1.5)")
+    (fun () ->
+      Profile.validate_link "ctx" ~id:"2->3"
+        { Profile.clean with Profile.loss = 1.5 });
+  (* The stock constructors always validate, whatever the bases. *)
+  for _ = 1 to 20 do
+    let loss = Rng.uniform g 0. 0.99 and jitter = Rng.uniform g 0. 0.99 in
+    let cluster_of = Array.init 6 (fun i -> if i mod 3 = 0 then -1 else i mod 2) in
+    Profile.validate "test" ~n:6 (Profile.topology ~loss ~jitter ~cluster_of ());
+    Profile.validate "test" ~n:6
+      (Profile.random ~loss ~jitter ~outage:(Rng.uniform g 0. 1.) ~seed:(Rng.int g 1000) ())
   done
 
 (* ------------------------------------------------------------------ *)
@@ -555,6 +792,8 @@ let test_config_validation () =
           retries = 2;
           policy = Fault.adaptive ();
         };
+      profile = Some (Profile.random ~loss:0.1 ~jitter:0.2 ~seed:5 ());
+      churn = Some { Churn.default with Churn.fraction = 0.3 };
       budget = Some (Budget.per_node ~capacity:10. ~rate:1.);
       cache_ttl = Some 5.;
       cache_capacity = Some 64;
@@ -604,6 +843,17 @@ let () =
           Alcotest.test_case "backoff schedule" `Quick test_backoff_delay_schedule;
           Alcotest.test_case "adaptive budget bounds" `Quick
             test_adaptive_retry_budget_bounds;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "zero-fault profile = oracle on all protocols"
+            `Quick test_zero_fault_profile_equals_oracle_protocols;
+          Alcotest.test_case "uniform profile = global model" `Quick
+            test_uniform_profile_matches_global_model;
+          Alcotest.test_case "per-link estimator converges" `Quick
+            test_per_link_estimate_converges;
+          Alcotest.test_case "profile validation names the link" `Quick
+            test_profile_validation_names_link;
         ] );
       ( "validation",
         [ Alcotest.test_case "config validation" `Quick test_config_validation ] );
