@@ -42,6 +42,7 @@ let engine_for ctx ~loss ~jitter ?(retries = 1) ?(policy = Fault.Fixed) ?profile
         Engine.fault;
         profile;
         churn = None;
+        dynamics = None;
         budget;
         cache_ttl;
         cache_capacity;
@@ -142,6 +143,7 @@ let measure ctx =
               Engine.fault;
               profile;
               churn;
+              dynamics = None;
               budget = None;
               cache_ttl = None;
               cache_capacity = None;

@@ -34,6 +34,7 @@ let () =
   Figures_alert.register ();
   Figures_tivaware.register ();
   Figures_measure.register ();
+  Figures_repair.register ();
   Ablations.register ();
   Extensions.register ();
   if !perf then Perf.run ()

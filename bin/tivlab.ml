@@ -36,6 +36,7 @@ module Engine = Tivaware_measure.Engine
 module Fault = Tivaware_measure.Fault
 module Profile = Tivaware_measure.Profile
 module Churn = Tivaware_measure.Churn
+module Dynamics = Tivaware_measure.Dynamics
 module Budget = Tivaware_measure.Budget
 module Probe_stats = Tivaware_measure.Probe_stats
 
@@ -169,6 +170,19 @@ let churn_fraction_arg =
     & info [ "churn-fraction" ] ~docv:"F"
         ~doc:"Share of nodes subject to churn (with $(b,--churn)).")
 
+let dynamics_arg =
+  let kinds =
+    [ ("none", `None); ("diurnal", `Diurnal); ("routeflap", `Routeflap) ]
+  in
+  Arg.(
+    value & opt (enum kinds) `None
+    & info [ "dynamics" ] ~docv:"KIND"
+        ~doc:"Time-varying network conditions on the engine clock: \
+              $(b,diurnal) (loss/jitter follow a 240 s sinusoidal cycle, \
+              amplitude 0.8) or $(b,routeflap) (seeded per-link route \
+              changes, mean one per 100 s, re-drawing up to 50 ms of \
+              extra delay).  $(b,none) keeps the profile static.")
+
 type meas_opts = {
   loss : float;
   jitter : float;
@@ -181,11 +195,12 @@ type meas_opts = {
   profile : [ `Uniform | `Topo | `Random ];
   churn : bool;
   churn_fraction : float;
+  dynamics : [ `None | `Diurnal | `Routeflap ];
 }
 
 let meas_term =
   let make loss jitter probe_budget cache_ttl cache_capacity retry_policy
-      retries charge_time profile churn churn_fraction =
+      retries charge_time profile churn churn_fraction dynamics =
     {
       loss;
       jitter;
@@ -198,12 +213,13 @@ let meas_term =
       profile;
       churn;
       churn_fraction;
+      dynamics;
     }
   in
   Term.(
     const make $ loss_arg $ meas_jitter_arg $ probe_budget_arg $ cache_ttl_arg
     $ cache_capacity_arg $ retry_policy_arg $ retries_arg $ charge_time_arg
-    $ profile_arg $ churn_arg $ churn_fraction_arg)
+    $ profile_arg $ churn_arg $ churn_fraction_arg $ dynamics_arg)
 
 let cli_backoff = { Fault.default_backoff with Fault.delay_jitter = 0.1 }
 
@@ -229,6 +245,20 @@ let make_engine m ?(labels = lazy [||]) opts ~seed =
       Some { Churn.default with Churn.fraction = opts.churn_fraction; seed }
     else None
   in
+  let dynamics =
+    match opts.dynamics with
+    | `None -> None
+    | `Diurnal ->
+      Some
+        { Dynamics.default with Dynamics.diurnal = Some Dynamics.default_diurnal; seed }
+    | `Routeflap ->
+      Some
+        {
+          Dynamics.default with
+          Dynamics.route_flap = Some Dynamics.default_route_flap;
+          seed;
+        }
+  in
   let config =
     {
       Engine.fault =
@@ -241,6 +271,7 @@ let make_engine m ?(labels = lazy [||]) opts ~seed =
         };
       profile;
       churn;
+      dynamics;
       budget =
         (if opts.probe_budget <= 0 then None
          else

@@ -3,14 +3,22 @@ module Matrix = Tivaware_delay_space.Matrix
 type t = {
   ids : int array;  (* ids.(node) = identifier *)
   sorted : (int * int) array;  (* (id, node), ascending by id *)
-  successors : int array;  (* successors.(node) = node index *)
+  successors : int array;  (* successors.(node) = current successor belief *)
+  successor_lists : int array array;
+  (* next [r] nodes clockwise in id space — the healing candidates a
+     node falls back on when its successor dies *)
   finger_tables : int array array;  (* deduplicated finger node indices *)
+  dead : bool array;
+  (* healing's shared failure belief (gossiped); all-false until a heal
+     pass marks nodes, so un-healed overlays behave exactly as before *)
 }
 
 let size t = Array.length t.ids
 let node_id t node = t.ids.(node)
 let successor t node = t.successors.(node)
+let successor_list t node = Array.copy t.successor_lists.(node)
 let fingers t node = Array.copy t.finger_tables.(node)
+let believed_dead t node = t.dead.(node)
 
 (* First (id, node) whose id is >= key, wrapping to the smallest. *)
 let owner_entry sorted key =
@@ -27,6 +35,29 @@ let owner_entry sorted key =
   sorted.(if pos = n then 0 else pos)
 
 let owner_of t key = snd (owner_entry t.sorted key)
+
+(* First node at or after [key] not believed dead: the node that
+   answers for the key once healing has routed responsibility past the
+   failures.  With an all-false belief (no healing) this is [owner_of]. *)
+let live_owner_of t key =
+  let n = Array.length t.sorted in
+  let start =
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if fst t.sorted.(mid) < key then search (mid + 1) hi else search lo mid
+      end
+    in
+    let pos = search 0 n in
+    if pos = n then 0 else pos
+  in
+  let rec walk pos steps =
+    let node = snd t.sorted.(pos) in
+    if steps >= n || not t.dead.(node) then node
+    else walk ((pos + 1) mod n) (steps + 1)
+  in
+  walk start 0
 
 (* Nodes whose ids fall in the clockwise arc [lo, hi), in arc order,
    at most [limit] of them. *)
@@ -58,9 +89,11 @@ let arc_candidates sorted lo hi limit =
   done;
   List.rev !out
 
-let build ?(candidates = 8) ?predict m =
+let build ?(candidates = 8) ?(successor_list = 4) ?predict m =
   let n = Matrix.size m in
   assert (n >= 2);
+  if successor_list < 1 then
+    invalid_arg "Chord.build: successor_list must be >= 1";
   let ids = Array.init n Id_space.of_node in
   let sorted = Array.init n (fun node -> (ids.(node), node)) in
   Array.sort compare sorted;
@@ -68,6 +101,11 @@ let build ?(candidates = 8) ?predict m =
   Array.iteri (fun pos (_, node) -> position.(node) <- pos) sorted;
   let successors =
     Array.init n (fun node -> snd sorted.((position.(node) + 1) mod n))
+  in
+  let successor_lists =
+    let r = min successor_list (n - 1) in
+    Array.init n (fun node ->
+        Array.init r (fun k -> snd sorted.((position.(node) + 1 + k) mod n)))
   in
   let finger_of node k =
     let lo = Id_space.add ids.(node) (Id_space.power_offset k) in
@@ -116,7 +154,7 @@ let build ?(candidates = 8) ?predict m =
         done;
         Array.of_list !out)
   in
-  { ids; sorted; successors; finger_tables }
+  { ids; sorted; successors; successor_lists; finger_tables; dead = Array.make n false }
 
 type lookup = {
   hops : int;
@@ -128,7 +166,7 @@ type lookup = {
 let lookup t m ~source ~key =
   let n = size t in
   if source < 0 || source >= n then invalid_arg "Chord.lookup: bad source";
-  let owner = owner_of t key in
+  let owner = live_owner_of t key in
   let hop_cost a b =
     let d = Matrix.get m a b in
     if Float.is_nan d then 0. else d
@@ -140,16 +178,23 @@ let lookup t m ~source ~key =
       let cur_id = t.ids.(cur) in
       let succ = t.successors.(cur) in
       let succ_id = t.ids.(succ) in
-      (* Owner reached next hop when the key lies in (cur, successor]. *)
-      if Id_space.between_cw cur_id key succ_id || key = succ_id then
-        route_from succ (latency +. hop_cost cur succ) (hops + 1) (succ :: acc)
+      (* Owner reached next hop when the key lies in (cur, successor].
+         The healed successor can sit past the owner (healing also
+         skips candidates it cannot probe, e.g. unmeasurable links);
+         the final handoff goes to the live owner the node knows from
+         its successor list, never past it — otherwise the route would
+         orbit the ring. *)
+      if Id_space.between_cw cur_id key succ_id || key = succ_id then begin
+        let last = if succ = owner then succ else owner in
+        route_from last (latency +. hop_cost cur last) (hops + 1) (last :: acc)
+      end
       else begin
         (* Closest preceding node among fingers, else the successor. *)
         let next =
           Array.fold_left
             (fun acc f ->
               let fid = t.ids.(f) in
-              if Id_space.between_cw cur_id fid key then begin
+              if (not t.dead.(f)) && Id_space.between_cw cur_id fid key then begin
                 match acc with
                 | Some (_, bd) when bd >= Id_space.distance_cw cur_id fid -> acc
                 | _ -> Some (f, Id_space.distance_cw cur_id fid)
@@ -168,8 +213,77 @@ let lookup t m ~source ~key =
    engine (budgets, faults, cache all apply), while id-space structure
    still comes from the engine's ground-truth matrix.  Under the
    default (exact-oracle) config this is bit-for-bit [build ~predict:(Matrix.get m) m]. *)
-let build_engine ?candidates ?(label = "dht") engine =
+let build_engine ?candidates ?successor_list ?(label = "dht") engine =
   let module Engine = Tivaware_measure.Engine in
-  build ?candidates
+  build ?candidates ?successor_list
     ~predict:(Engine.rtt ~label engine)
     (Engine.matrix_exn engine)
+
+(* ------------------------------------------------------------------ *)
+(* Successor-list healing                                              *)
+
+type heal = {
+  checked : int;
+  rerouted : int;
+  marked_dead : int;
+  revived : int;
+}
+
+(* One healing pass: every node that is itself up probes down its
+   successor list, in clockwise order, until a candidate answers; the
+   first live candidate becomes its successor pointer, and every probe
+   outcome updates the shared failure belief the router consults.
+
+   Convergence: a node's immediate structural successor is always the
+   first entry of its list, so a revived node is re-probed by its
+   predecessor on the very next pass — belief cleared, pointer
+   restored.  A dead node is discovered by its predecessor the same
+   way; chains of up to [successor_list] consecutive failures are
+   walked past.  All probes are charged under [label]. *)
+let heal_engine ?(label = "dht-repair") t engine =
+  let module Engine = Tivaware_measure.Engine in
+  let module Churn = Tivaware_measure.Churn in
+  let self_up i =
+    match Engine.churn engine with
+    | None -> true
+    | Some c -> Churn.is_up c i
+  in
+  let checked = ref 0 and rerouted = ref 0 in
+  let marked = ref 0 and revived = ref 0 in
+  Array.iteri
+    (fun node _ ->
+      if self_up node then begin
+        let chosen = ref None in
+        Array.iter
+          (fun c ->
+            if !chosen = None then begin
+              incr checked;
+              match Engine.probe ~label engine node c with
+              | Engine.Rtt _ | Engine.Cached _ ->
+                if t.dead.(c) then begin
+                  t.dead.(c) <- false;
+                  incr revived
+                end;
+                chosen := Some c
+              | Engine.Down | Engine.Lost ->
+                (* A timed-out probe is failure detection: the belief
+                   is gossiped, so only conclusive silence may set it. *)
+                if not t.dead.(c) then begin
+                  t.dead.(c) <- true;
+                  incr marked
+                end
+              | Engine.Unmeasured | Engine.Denied ->
+                (* This link cannot carry a probe (missing pair) or the
+                   budget refused it — says nothing about [c]'s
+                   liveness; skip the candidate without accusing it. *)
+                ()
+            end)
+          t.successor_lists.(node);
+        match !chosen with
+        | Some c when t.successors.(node) <> c ->
+          t.successors.(node) <- c;
+          incr rerouted
+        | _ -> ()
+      end)
+    t.ids;
+  { checked = !checked; rerouted = !rerouted; marked_dead = !marked; revived = !revived }

@@ -23,6 +23,7 @@ type t
 
 val build :
   ?candidates:int ->
+  ?successor_list:int ->
   ?predict:(int -> int -> float) ->
   Tivaware_delay_space.Matrix.t ->
   t
@@ -30,10 +31,18 @@ val build :
     [predict], plain Chord fingers.  With [predict], PNS fingers chosen
     among [candidates] (default 8) arc candidates by smallest predicted
     delay; candidates whose prediction is [nan] are skipped (falling
-    back to the first candidate). *)
+    back to the first candidate).  Every node also records its
+    [successor_list] (default 4, capped at [n - 1]) next nodes
+    clockwise — the healing candidates {!heal_engine} falls back on
+    when a successor dies.  Raises [Invalid_argument] when
+    [successor_list < 1]. *)
 
 val build_engine :
-  ?candidates:int -> ?label:string -> Tivaware_measure.Engine.t -> t
+  ?candidates:int ->
+  ?successor_list:int ->
+  ?label:string ->
+  Tivaware_measure.Engine.t ->
+  t
 (** PNS through the measurement plane: finger candidates are compared
     by probing the engine ([label] defaults to ["dht"] in its
     {!Tivaware_measure.Probe_stats}); probes that fail (loss, outage,
@@ -48,10 +57,21 @@ val node_id : t -> int -> int
 (** Identifier of a node index. *)
 
 val successor : t -> int -> int
-(** Node index of the successor on the ring. *)
+(** Node index of the current successor on the ring (the structural
+    next node clockwise, until {!heal_engine} reroutes it past a
+    failure). *)
+
+val successor_list : t -> int -> int array
+(** The node's healing candidates: its next nodes clockwise in id
+    space, nearest first. *)
 
 val fingers : t -> int -> int array
 (** Finger node indices (deduplicated, unordered). *)
+
+val believed_dead : t -> int -> bool
+(** Healing's current belief about the node.  Always [false] until a
+    {!heal_engine} pass marks it; routing skips believed-dead fingers
+    and owners. *)
 
 type lookup = {
   hops : int;
@@ -61,10 +81,42 @@ type lookup = {
 }
 
 val lookup : t -> Tivaware_delay_space.Matrix.t -> source:int -> key:int -> lookup
-(** Greedy clockwise routing from [source] to the node owning [key].
-    Hops with missing measurements contribute 0 latency (the overlay
-    link exists regardless).  Raises [Invalid_argument] on a bad
-    source. *)
+(** Greedy clockwise routing from [source] to the node owning [key] —
+    the first node at or after [key] {e not believed dead}, so once
+    healing has converged a lookup never terminates at a failed node.
+    Believed-dead fingers are skipped en route.  Hops with missing
+    measurements contribute 0 latency (the overlay link exists
+    regardless).  Raises [Invalid_argument] on a bad source. *)
 
 val owner_of : t -> int -> int
-(** The node index whose id is the first at or after [key]. *)
+(** The node index whose id is the first at or after [key], ignoring
+    liveness (the structural owner). *)
+
+val live_owner_of : t -> int -> int
+(** The first node at or after [key] not believed dead — what {!lookup}
+    routes to.  Equal to {!owner_of} until healing marks failures. *)
+
+(** {2 Successor-list healing} *)
+
+type heal = {
+  checked : int;  (** liveness probes issued by the pass *)
+  rerouted : int;  (** successor pointers moved to a live candidate *)
+  marked_dead : int;  (** nodes newly believed dead *)
+  revived : int;  (** nodes whose death belief was cleared *)
+}
+
+val heal_engine : ?label:string -> t -> Tivaware_measure.Engine.t -> heal
+(** One healing pass against the engine's current churn state: every
+    node that is itself up walks its successor list in clockwise order,
+    probing each candidate through the engine until one answers; the
+    first live candidate becomes its successor, and the shared failure
+    belief ({!believed_dead}) the router consults is updated from the
+    probe outcomes.  Only timed-out probes ([Down]/[Lost]) accuse a
+    node — an unmeasurable pair or a budget denial says nothing about
+    the candidate's liveness and merely skips it, so the gossiped
+    belief never marks a node that is up (false suspicion is possible
+    under loss, as in any real failure detector).  A revived node is
+    re-probed — and its belief cleared — by its predecessor on the next
+    pass, because it is always the first entry of that predecessor's
+    list.  Probes are charged and accounted under [label] (default
+    ["dht-repair"]). *)

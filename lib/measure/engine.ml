@@ -4,6 +4,7 @@ type config = {
   fault : Fault.config;
   profile : Profile.t option;
   churn : Churn.config option;
+  dynamics : Dynamics.config option;
   budget : Budget.config option;
   cache_ttl : float option;
   cache_capacity : int option;
@@ -16,6 +17,7 @@ let default_config =
     fault = Fault.default;
     profile = None;
     churn = None;
+    dynamics = None;
     budget = None;
     cache_ttl = None;
     cache_capacity = None;
@@ -32,6 +34,7 @@ type t = {
   oracle : Oracle.t;
   fault : Fault.t;
   churn : Churn.t option;
+  dynamics : Dynamics.t option;
   budget : Budget.t option;
   cache : Cache.t option;
   stats : Probe_stats.t;
@@ -41,6 +44,7 @@ type t = {
 let validate_config (config : config) =
   Fault.validate_config "Engine.create" config.fault;
   Option.iter (Churn.validate_config "Engine.create") config.churn;
+  Option.iter (Dynamics.validate_config "Engine.create") config.dynamics;
   Option.iter (Budget.validate_config "Engine.create") config.budget;
   (match config.cache_ttl with
   | Some ttl when Float.is_nan ttl || ttl <= 0. ->
@@ -63,9 +67,30 @@ let validate_config (config : config) =
 let create ?(config = default_config) oracle =
   validate_config config;
   let n = Oracle.size oracle in
+  (* Dynamics wrap the configured profile — or, like the injector's own
+     back-compat path, a uniform profile built from the global fault
+     rates, which reproduces the global model probe for probe. *)
+  let dynamics =
+    Option.map
+      (fun d ->
+        let base =
+          match config.profile with
+          | Some p -> p
+          | None ->
+            Profile.of_rates ~loss:config.fault.Fault.loss
+              ~jitter:config.fault.Fault.jitter
+        in
+        Dynamics.create ~config:d base)
+      config.dynamics
+  in
   let fault =
-    Fault.create ~config:config.fault ?profile:config.profile
-      (Rng.create config.seed) ~n
+    match dynamics with
+    | Some d ->
+      Fault.create ~config:config.fault ~profile:(Dynamics.profile d)
+        (Rng.create config.seed) ~n
+    | None ->
+      Fault.create ~config:config.fault ?profile:config.profile
+        (Rng.create config.seed) ~n
   in
   let churn = Option.map (fun c -> Churn.create ~config:c ~n ()) config.churn in
   (* Churn owns the up/down state of its churning nodes from time 0 on
@@ -77,6 +102,7 @@ let create ?(config = default_config) oracle =
     oracle;
     fault;
     churn;
+    dynamics;
     budget = Option.map (fun b -> Budget.create b ~n) config.budget;
     cache =
       Option.map
@@ -94,10 +120,14 @@ let size t = Oracle.size t.oracle
 let matrix_exn t = Oracle.matrix_exn t.oracle
 let fault t = t.fault
 let churn t = t.churn
+let dynamics t = t.dynamics
 
 let now t = t.clock
 
+(* Every clock movement drives both time-dependent planes: network
+   conditions (dynamics) and membership (churn). *)
 let sync_churn t =
+  Option.iter (fun d -> Dynamics.advance_to d t.clock) t.dynamics;
   match t.churn with
   | None -> ()
   | Some c -> Churn.drive c t.fault ~time:t.clock

@@ -47,6 +47,12 @@ type config = {
           schedule follows the engine clock (every {!advance},
           {!advance_to} and charged probe), so event-driven drivers
           slaving the clock to a simulator get churn "for free". *)
+  dynamics : Dynamics.config option;
+      (** time-varying network conditions (diurnal loss/jitter
+          modulation, seeded route-change events) layered over
+          [profile] — or over the uniform profile built from the global
+          [fault] rates when [profile] is [None].  Slaved to the engine
+          clock exactly like churn; [None] = static conditions. *)
   budget : Budget.config option;  (** [None] = unlimited *)
   cache_ttl : float option;  (** [None] = on-demand (no cache) *)
   cache_capacity : int option;
@@ -69,7 +75,8 @@ val create : ?config:config -> Oracle.t -> t
     given without a [cache_ttl], budget capacities below one token or
     negative/NaN rates ({!Budget.validate_config}), fault/retry
     parameters out of range ({!Fault.validate_config}), churn
-    parameters out of range ({!Churn.validate_config}), or any per-link
+    parameters out of range ({!Churn.validate_config}), dynamics
+    parameters out of range ({!Dynamics.validate_config}), or any per-link
     profile entry out of range ({!Profile.validate}, which names the
     offending link in the message). *)
 
@@ -91,6 +98,11 @@ val churn : t -> Churn.t option
 (** The live churn model, when the config enables one.  Its schedule is
     driven by this engine's clock; churning nodes' up/down state
     overrides the static [fault.outage] draw. *)
+
+val dynamics : t -> Dynamics.t option
+(** The live dynamics model, when the config enables one.  Its clock is
+    driven by this engine's clock; the {!Fault} injector reads every
+    wire attempt's link parameters through it. *)
 
 (** {2 Logical clock} *)
 

@@ -144,7 +144,9 @@ let closest_engine ?(termination = Query.Threshold) sim overlay engine ~client
   let finish () =
     let best, best_delay = Query.best_seen st in
     (* Under loss every probe of a hop can fail, leaving no best node;
-       the failure answer returns to the client instantaneously. *)
+       the failure answer returns to the client instantaneously and
+       reads [chosen_delay = nan], exactly like {!Query.closest_engine}
+       (not the probe state's untouched [infinity]). *)
     let back = if best < 0 then 0. else transit client best /. 2. in
     Sim.schedule_after sim back (fun () ->
         finished :=
@@ -152,8 +154,8 @@ let closest_engine ?(termination = Query.Threshold) sim overlay engine ~client
             {
               query =
                 {
-                  Query.chosen = best;
-                  chosen_delay = best_delay;
+                  Query.chosen = (if best < 0 then start else best);
+                  chosen_delay = (if best < 0 then nan else best_delay);
                   probes = Query.probe_count st;
                   hops = !hops;
                   restarts = 0;

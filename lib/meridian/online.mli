@@ -63,7 +63,8 @@ val closest_engine :
     lost probe burns — advances the simulator clock on the issuing
     path.  Failed probes degrade the query exactly as in
     {!Query.closest_engine} (a node that cannot measure the target
-    becomes ineligible; a failed start probe ends the query), and
+    becomes ineligible; a failed start probe ends the query with
+    [chosen_delay = nan], same convention as the offline path), and
     [latency] now includes what measurement actually cost.  Under
     {!Tivaware_measure.Engine.default_config} the outcome and latency
     are identical to {!closest} on the same (complete) matrix.  The

@@ -11,6 +11,10 @@ type t = {
      meridian_nodes. *)
   rings : member list array array;
   slot_of : (int, int) Hashtbl.t;
+  (* Failure gossip: (slot, member id) pairs evicted by repair and not
+     yet re-entered.  Bounds re-entry probing to members known to have
+     left, instead of re-probing every absent pair forever. *)
+  pending_reentry : (int * int, unit) Hashtbl.t;
 }
 
 let config t = t.config
@@ -132,7 +136,14 @@ let build ?(edge_filter = fun _ _ -> true) ?placement
           end)
         candidates)
     meridian_nodes;
-  { config = cfg; meridian_nodes = Array.copy meridian_nodes; meridian_set; rings; slot_of }
+  {
+    config = cfg;
+    meridian_nodes = Array.copy meridian_nodes;
+    meridian_set;
+    rings;
+    slot_of;
+    pending_reentry = Hashtbl.create 16;
+  }
 
 let ring_members t node i =
   assert (i >= 1 && i <= t.config.Ring.rings);
@@ -151,6 +162,84 @@ let all_members t node =
         true
       end)
     (all_entries t node)
+
+(* ------------------------------------------------------------------ *)
+(* Churn-aware ring maintenance                                        *)
+
+type repair = {
+  evicted : int;
+  reentered : int;
+}
+
+(* One maintenance pass through the measurement plane.
+
+   Eviction: every live Meridian node re-probes each of its ring
+   entries; entries that answer nothing are dropped from the ring and
+   remembered as pending re-entry (the failure is gossiped).
+
+   Re-entry: for every pending (host, member) pair where both ends are
+   back up, the rejoining member has announced itself (gossip), so the
+   host re-probes it and files it into the ring its fresh delay
+   belongs to — provided that ring has a free primary slot.  A pair
+   whose probe still fails stays pending for the next pass.
+
+   All probes are charged through the engine and accounted under
+   [label], so repair traffic is as honest as query traffic. *)
+let repair_engine ?(label = "meridian-repair") t engine =
+  let module Engine = Tivaware_measure.Engine in
+  let module Churn = Tivaware_measure.Churn in
+  let up i =
+    match Engine.churn engine with
+    | None -> true
+    | Some c -> Churn.is_up c i
+  in
+  let evicted = ref 0 and reentered = ref 0 in
+  Array.iteri
+    (fun s node ->
+      if up node then
+        Array.iteri
+          (fun r members ->
+            let keep, dead =
+              List.partition
+                (fun m ->
+                  not (Float.is_nan (Engine.rtt ~label engine node m.id)))
+                members
+            in
+            if dead <> [] then begin
+              t.rings.(s).(r) <- keep;
+              evicted := !evicted + List.length dead;
+              List.iter
+                (fun m -> Hashtbl.replace t.pending_reentry (s, m.id) ())
+                dead
+            end)
+          t.rings.(s))
+    t.meridian_nodes;
+  let pending =
+    Hashtbl.fold (fun k () acc -> k :: acc) t.pending_reentry []
+  in
+  List.iter
+    (fun ((s, id) as key) ->
+      let node = t.meridian_nodes.(s) in
+      if up node && up id then begin
+        let d = Engine.rtt ~label engine node id in
+        if not (Float.is_nan d) then begin
+          let r = Ring.ring_of t.config d - 1 in
+          if r >= 0 && r < t.config.Ring.rings then begin
+            if List.length t.rings.(s).(r) < t.config.Ring.k then begin
+              t.rings.(s).(r) <- { id; delay = d } :: t.rings.(s).(r);
+              incr reentered
+            end;
+            (* Full ring: the member is back but there is no room; drop
+               the gossip entry rather than probing it forever. *)
+            Hashtbl.remove t.pending_reentry key
+          end
+          else Hashtbl.remove t.pending_reentry key
+        end
+      end)
+    (List.sort compare pending);
+  { evicted = !evicted; reentered = !reentered }
+
+let pending_reentries t = Hashtbl.length t.pending_reentry
 
 let ring_population t node =
   Array.map List.length t.rings.(slot t node)

@@ -76,5 +76,27 @@ val all_entries : t -> int -> member list
 val ring_population : t -> int -> int array
 (** Member count per ring (1-based index shifted to 0). *)
 
+(** {2 Churn-aware ring maintenance} *)
+
+type repair = {
+  evicted : int;  (** ring entries dropped because they answered no probe *)
+  reentered : int;  (** rejoined members filed back into a ring *)
+}
+
+val repair_engine : ?label:string -> t -> Tivaware_measure.Engine.t -> repair
+(** One ring-maintenance pass against the engine's current churn state.
+    Every live Meridian node re-probes its ring entries and evicts the
+    ones that answer nothing; evictions are gossiped, and on a later
+    pass — once the member is back up and re-announces itself — the
+    host re-probes it and files it into the ring matching its fresh
+    delay, if that ring has a free primary slot.  All probes go through
+    the engine (charged, budgeted) under [label] (default
+    ["meridian-repair"]).  Under an oracle-mode engine the pass evicts
+    nothing (and still pays its maintenance probes).  Returns eviction
+    and re-entry counts for this pass. *)
+
+val pending_reentries : t -> int
+(** (host, member) evictions gossiped but not yet re-entered. *)
+
 val mean_ring_population : t -> float array
 (** Average population of each ring over all Meridian nodes. *)

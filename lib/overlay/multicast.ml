@@ -15,6 +15,9 @@ type t = {
   parent : int array;  (* -1 = root or not joined *)
   joined : bool array;
   degree : int array;  (* children count *)
+  wants : bool array;
+  (* group membership intent: everyone from the join order; a detached
+     node with [wants] set rejoins when repair finds it up again *)
 }
 
 let root t = t.root
@@ -59,8 +62,10 @@ let build ?(config = default_config) m ~join_order ~predict =
       parent = Array.make n (-1);
       joined = Array.make n false;
       degree = Array.make n 0;
+      wants = Array.make n false;
     }
   in
+  Array.iter (fun node -> t.wants.(node) <- true) join_order;
   t.joined.(t.root) <- true;
   let member_list = ref [ t.root ] in
   Array.iteri
@@ -212,6 +217,103 @@ let evaluate t m =
     max_depth = !max_depth;
     max_fanout = Array.fold_left max 0 t.degree;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Churn-aware tree repair                                             *)
+
+type repair = {
+  detached : int;
+  reattached : int;
+  rejoined : int;
+}
+
+let recompute_degrees t =
+  Array.fill t.degree 0 (Array.length t.degree) 0;
+  Array.iteri
+    (fun node p ->
+      if t.joined.(node) && node <> t.root && p >= 0 then
+        t.degree.(p) <- t.degree.(p) + 1)
+    t.parent
+
+let repair t rng m ~predict ~up =
+  let detached = ref 0 and reattached = ref 0 and rejoined = ref 0 in
+  (* 1. Down members leave the tree; their children become orphans
+     (still joined, parent no longer a member). *)
+  List.iter
+    (fun node ->
+      if node <> t.root && not (up node) then begin
+        t.joined.(node) <- false;
+        t.parent.(node) <- -1;
+        incr detached
+      end)
+    (members t);
+  (* 2. Orphans re-attach: a member whose parent is gone (or down) asks
+     the predictor — real probes, when driven by an engine — for the
+     best live member with spare degree.  Deterministic ascending order
+     keeps repair reproducible under a fixed seed. *)
+  let live_members () =
+    List.filter (fun c -> up c) (members t)
+  in
+  List.iter
+    (fun node ->
+      if node <> t.root && t.joined.(node) then begin
+        let p = t.parent.(node) in
+        let orphaned = p < 0 || (not t.joined.(p)) || not (up p) in
+        if orphaned then begin
+          let pool = Array.of_list (live_members ()) in
+          let sample =
+            if Array.length pool = 0 then []
+            else
+              List.init t.config.refresh_sample (fun _ -> Rng.choice rng pool)
+          in
+          let eligible =
+            List.filter (fun c -> not (in_subtree t node c)) (t.root :: sample)
+          in
+          match best_attachment t m ~predict node eligible with
+          | Some (chosen, _) when up chosen ->
+            t.parent.(node) <- chosen;
+            t.degree.(chosen) <- t.degree.(chosen) + 1;
+            incr reattached
+          | _ ->
+            (* No live attachment point this pass: the node leaves the
+               tree and rejoins later like any revived member. *)
+            t.joined.(node) <- false;
+            t.parent.(node) <- -1
+        end
+      end)
+    (members t);
+  recompute_degrees t;
+  (* 3. Revived members rejoin the group they still want. *)
+  Array.iteri
+    (fun node wants ->
+      if wants && (not t.joined.(node)) && up node && node <> t.root then begin
+        let pool = Array.of_list (live_members ()) in
+        let sample =
+          if Array.length pool = 0 then []
+          else List.init t.config.refresh_sample (fun _ -> Rng.choice rng pool)
+        in
+        match best_attachment t m ~predict node (t.root :: sample) with
+        | Some (chosen, _) when up chosen ->
+          t.parent.(node) <- chosen;
+          t.joined.(node) <- true;
+          t.degree.(chosen) <- t.degree.(chosen) + 1;
+          incr rejoined
+        | _ -> ()
+      end)
+    t.wants;
+  { detached = !detached; reattached = !reattached; rejoined = !rejoined }
+
+let repair_engine ?(label = "multicast-repair") t rng engine =
+  let module Engine = Tivaware_measure.Engine in
+  let module Churn = Tivaware_measure.Churn in
+  let up i =
+    match Engine.churn engine with
+    | None -> true
+    | Some c -> Churn.is_up c i
+  in
+  repair t rng (Engine.matrix_exn engine)
+    ~predict:(Engine.rtt ~label engine)
+    ~up
 
 (* Measurement-plane neighbor selection: joins and refreshes predict
    edge delays by probing through the engine; tree evaluation stays on

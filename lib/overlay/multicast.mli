@@ -60,6 +60,38 @@ val refresh :
     the tree into long low-latency chains.  Returns the number of
     parent switches. *)
 
+(** {2 Churn-aware tree repair} *)
+
+type repair = {
+  detached : int;  (** down members torn out of the tree *)
+  reattached : int;  (** orphaned children re-parented to a live member *)
+  rejoined : int;  (** revived members re-admitted to the group *)
+}
+
+val repair :
+  t ->
+  Tivaware_util.Rng.t ->
+  Tivaware_delay_space.Matrix.t ->
+  predict:(int -> int -> float) ->
+  up:(int -> bool) ->
+  repair
+(** One repair pass against a liveness oracle [up]: down members are
+    detached (their children orphaned), every orphan re-attaches to the
+    best live member with spare degree among a sampled candidate set
+    (the root is always a candidate, so the tree cannot fragment while
+    the root is up), and revived members that still want the group
+    rejoin the same way.  Orphans with no live attachment point leave
+    the tree and rejoin on a later pass.  Degrees are recomputed from
+    the repaired parent relation.  The root never detaches; while it is
+    down, repair keeps the surviving members attached among themselves
+    and re-hangs them once it returns. *)
+
+val repair_engine :
+  ?label:string -> t -> Tivaware_util.Rng.t -> Tivaware_measure.Engine.t -> repair
+(** {!repair} with liveness taken from the engine's churn model (no
+    churn = everyone up) and predictions probing through the engine,
+    charged and accounted under [label] (default ["multicast-repair"]). *)
+
 val build_engine :
   ?config:config ->
   ?label:string ->

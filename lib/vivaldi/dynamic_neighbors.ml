@@ -1,4 +1,6 @@
 module Rng = Tivaware_util.Rng
+module Engine = Tivaware_measure.Engine
+module Churn = Tivaware_measure.Churn
 
 type schedule = {
   rounds_per_iteration : int;
@@ -59,3 +61,61 @@ let run ?(on_iteration = fun _ _ -> ()) system schedule =
     refresh_neighbors system;
     on_iteration k system
   done
+
+type repair = {
+  evicted : int;
+  resampled : int;
+}
+
+(* Churn-aware neighbor repair: every live node re-probes its current
+   neighbors through the system's engine and drops the ones that answer
+   nothing, then samples fresh candidates until the set is full again —
+   accepting only candidates that answer a probe.  Every liveness check
+   is a real probe (charged, budgeted, accounted under [label]), so
+   repair traffic shows up in the measurement plane like any other. *)
+let repair_neighbors ?(label = "vivaldi-repair") system =
+  let n = System.size system in
+  let engine = System.engine system in
+  let rng = System.rng system in
+  let self_up i =
+    match Engine.churn engine with
+    | None -> true
+    | Some c -> Churn.is_up c i
+  in
+  let evicted = ref 0 and resampled = ref 0 in
+  for i = 0 to n - 1 do
+    (* A node that is itself down runs no maintenance. *)
+    if self_up i then begin
+      let current = System.neighbors system i in
+      let want = Array.length current in
+      if want > 0 then begin
+        let seen = Hashtbl.create (4 * want) in
+        Array.iter (fun j -> Hashtbl.replace seen j ()) current;
+        let alive =
+          List.filter
+            (fun j -> not (Float.is_nan (Engine.rtt ~label engine i j)))
+            (Array.to_list current)
+        in
+        evicted := !evicted + (want - List.length alive);
+        let fresh = ref [] in
+        let missing = ref (want - List.length alive) in
+        let attempts = ref 0 in
+        while !missing > 0 && !attempts < 20 * want do
+          incr attempts;
+          let j = Rng.int rng n in
+          if j <> i && not (Hashtbl.mem seen j) then begin
+            Hashtbl.replace seen j ();
+            if not (Float.is_nan (Engine.rtt ~label engine i j)) then begin
+              fresh := j :: !fresh;
+              incr resampled;
+              decr missing
+            end
+          end
+        done;
+        let repaired = Array.of_list (alive @ List.rev !fresh) in
+        if Array.length repaired > 0 && repaired <> current then
+          System.set_neighbors system i repaired
+      end
+    end
+  done;
+  { evicted = !evicted; resampled = !resampled }

@@ -34,3 +34,21 @@ val run :
     is called after iteration [k] (1-based) has embedded and refreshed —
     use it to snapshot neighbor-edge severities or selection quality at
     the iteration counts the paper plots (1, 2, 5, 10). *)
+
+(** {2 Churn-aware repair} *)
+
+type repair = {
+  evicted : int;  (** neighbors dropped because they answered no probe *)
+  resampled : int;  (** live replacements admitted into neighbor sets *)
+}
+
+val repair_neighbors : ?label:string -> System.t -> repair
+(** One repair pass: every node that is itself up (per the engine's
+    churn model; always, without churn) re-probes its current neighbors
+    through the system's engine, evicts the ones whose probe fails
+    (outage, loss, budget denial — the prober cannot tell these apart),
+    and samples random replacements until the set is full again,
+    admitting only candidates that answer a probe.  All repair probes
+    are charged and accounted under [label] (default
+    ["vivaldi-repair"]).  Under an oracle-mode engine every probe
+    succeeds and the pass is a no-op. *)

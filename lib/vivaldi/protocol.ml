@@ -2,6 +2,7 @@ module Rng = Tivaware_util.Rng
 module Sim = Tivaware_eventsim.Sim
 module Matrix = Tivaware_delay_space.Matrix
 module Engine = Tivaware_measure.Engine
+module Fault = Tivaware_measure.Fault
 
 type config = {
   probe_period : float;
@@ -88,10 +89,15 @@ let run_with_churn ?(config = default_config) ?(churn = default_churn) sim
     let j = config.jitter *. config.probe_period in
     Float.max 1e-3 (config.probe_period +. Rng.uniform rng (-.j) j)
   in
-  (* Up/down life cycle per node. *)
+  (* Up/down life cycle per node.  Both transitions are mirrored into
+     the engine's fault injector: a down node must answer no probes,
+     and — just as important — a revived node must answer them again,
+     otherwise the measurement plane slowly silences the whole
+     population while the protocol believes its peers rejoined. *)
   let rec go_down node () =
     if Sim.now sim < deadline then begin
       alive.(node) <- false;
+      Fault.set_down (Engine.fault engine) node true;
       incr failures;
       Sim.schedule_after sim
         (Rng.exponential rng ~rate:(1. /. churn.mean_downtime))
@@ -100,6 +106,7 @@ let run_with_churn ?(config = default_config) ?(churn = default_churn) sim
   and come_up node () =
     if Sim.now sim < deadline then begin
       alive.(node) <- true;
+      Fault.set_down (Engine.fault engine) node false;
       incr rejoins;
       (* State lost while down: restart from a fresh coordinate. *)
       System.reset_node system node;
@@ -129,7 +136,8 @@ let run_with_churn ?(config = default_config) ?(churn = default_churn) sim
                   end
                   else incr lost)
           | Engine.Lost | Engine.Down ->
-            (* Dropped by the measurement plane, not by churn. *)
+            (* Dropped on the wire — by loss, or because the peer's
+               outage is mirrored into the injector. *)
             incr sent;
             incr lost
           | Engine.Denied | Engine.Unmeasured -> ()

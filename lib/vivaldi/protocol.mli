@@ -73,7 +73,10 @@ val run_with_churn :
   duration:float ->
   churn_stats
 (** As {!run}, with every node cycling through up/down periods.  All
-    nodes start up. *)
+    nodes start up.  Each transition is mirrored into the engine's
+    fault injector ({!Tivaware_measure.Fault.set_down}): probes to a
+    down peer come back [Down], and a revived node answers probes again
+    the instant it rejoins. *)
 
 val alive_fraction_hint : churn -> float
 (** Steady-state expected fraction of nodes up:

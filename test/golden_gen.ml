@@ -27,7 +27,12 @@ module Engine = Tivaware_measure.Engine
 module Fault = Tivaware_measure.Fault
 module Profile = Tivaware_measure.Profile
 module Churn = Tivaware_measure.Churn
+module Dynamics = Tivaware_measure.Dynamics
 module Probe_stats = Tivaware_measure.Probe_stats
+module Overlay = Tivaware_meridian.Overlay
+module Dynamic_neighbors = Tivaware_vivaldi.Dynamic_neighbors
+module Chord = Tivaware_dht.Chord
+module Multicast = Tivaware_overlay.Multicast
 
 let n = 80
 let world_seed = 7
@@ -36,7 +41,8 @@ let data = Datasets.generate ~size:n ~seed:world_seed Datasets.Ds2
 let m = data.Generator.matrix
 let cluster_of = data.Generator.cluster_of
 
-let engine ?profile ?churn ?(charge_time = false) ~loss ~jitter ~seed () =
+let engine ?profile ?churn ?dynamics ?(charge_time = false) ~loss ~jitter ~seed
+    () =
   Engine.of_matrix
     ~config:
       {
@@ -44,6 +50,7 @@ let engine ?profile ?churn ?(charge_time = false) ~loss ~jitter ~seed () =
           { Fault.default with Fault.loss; jitter; retries = 1 };
         profile;
         churn;
+        dynamics;
         budget = None;
         cache_ttl = None;
         cache_capacity = None;
@@ -201,8 +208,145 @@ let profile () =
       Printf.fprintf oc "workload clock=%.3f stats: %s\n" (Engine.now e)
         (Format.asprintf "%a" Probe_stats.pp (Engine.stats e)))
 
+(* ------------------------------------------------------------------ *)
+(* Dynamics: diurnal sweep snapshot and a route-flap workload digest. *)
+
+let dynamics () =
+  with_file "golden_dynamics.actual" (fun oc ->
+      Printf.fprintf oc
+        "# time-varying profiles: diurnal sweep and route-flap workload\n";
+      (* Diurnal modulation of a topology profile, sampled at period
+         fractions over one full cycle. *)
+      let base = Profile.topology ~loss:0.1 ~jitter:0.2 ~cluster_of () in
+      let d =
+        Dynamics.create
+          ~config:
+            {
+              Dynamics.diurnal =
+                Some
+                  {
+                    Dynamics.period = 240.;
+                    loss_amplitude = 0.8;
+                    jitter_amplitude = 0.6;
+                    phase = 0.;
+                  };
+              route_flap = None;
+              seed = 61;
+            }
+          base
+      in
+      let pick = Rng.create 67 in
+      let links =
+        List.init 6 (fun _ ->
+            let i = Rng.int pick n in
+            (i, (i + 1 + Rng.int pick (n - 1)) mod n))
+      in
+      Array.iter
+        (fun t ->
+          Dynamics.advance_to d t;
+          List.iter
+            (fun (i, j) ->
+              let l = Dynamics.link d i j in
+              Printf.fprintf oc
+                "diurnal t=%03.0f %02d->%02d loss=%.4f jitter=%.4f extra=%.1f\n"
+                t i j l.Profile.loss l.Profile.jitter l.Profile.extra_delay)
+            links)
+        [| 0.; 60.; 120.; 180.; 240. |];
+      (* A charged workload through a route-flapping engine: extra
+         delays re-drawn mid-run show up in the clock, the stats and
+         the route-change counter. *)
+      let e =
+        engine
+          ~dynamics:
+            {
+              Dynamics.diurnal = None;
+              route_flap = Some { Dynamics.rate = 0.05; max_extra = 50. };
+              seed = 61;
+            }
+          ~charge_time:true ~loss:0.05 ~jitter:0.1 ~seed:71 ()
+      in
+      let wl = Rng.create 73 in
+      for _ = 1 to 600 do
+        let i = Rng.int wl n in
+        let j = (i + 1 + Rng.int wl (n - 1)) mod n in
+        ignore (Engine.rtt e i j)
+      done;
+      let de = Option.get (Engine.dynamics e) in
+      Printf.fprintf oc "routeflap clock=%.3f route_changes=%d stats: %s\n"
+        (Engine.now e) (Dynamics.route_changes de)
+        (Format.asprintf "%a" Probe_stats.pp (Engine.stats e)))
+
+(* ------------------------------------------------------------------ *)
+(* Repair: a churn burst driven through all four protocol repair
+   passes, with per-step convergence counters and the final per-label
+   probe accounting. *)
+
+let repair () =
+  with_file "golden_repair.actual" (fun oc ->
+      Printf.fprintf oc
+        "# churn burst -> repair convergence (vivaldi/chord/meridian/multicast)\n";
+      let churn =
+        { Churn.fraction = 0.4; mean_up = 60.; mean_down = 120.; seed = 79 }
+      in
+      let e = engine ~churn ~loss:0. ~jitter:0. ~seed:83 () in
+      let c = Option.get (Engine.churn e) in
+      let sys = System.create_with_engine (Rng.create 89) e in
+      let chord = Chord.build_engine ~successor_list:8 e in
+      let nodes = Rng.sample_indices (Rng.create 97) ~n ~k:24 in
+      let overlay =
+        Overlay.build (Rng.create 101) m (Ring.unlimited_config n)
+          ~meridian_nodes:nodes
+      in
+      let root =
+        let r = ref (-1) in
+        for i = n - 1 downto 0 do
+          if not (Churn.churning c i) then r := i
+        done;
+        !r
+      in
+      let join_order =
+        let rest =
+          Array.of_list (List.filter (( <> ) root) (List.init n Fun.id))
+        in
+        Rng.shuffle (Rng.create 103) rest;
+        Array.append [| root |] rest
+      in
+      let tree = Multicast.build_engine e ~join_order in
+      let tree_rng = Rng.create 107 in
+      Array.iter
+        (fun t ->
+          Engine.advance_to e t;
+          let up = ref 0 in
+          for i = 0 to n - 1 do
+            if Churn.is_up c i then incr up
+          done;
+          let v = Dynamic_neighbors.repair_neighbors sys in
+          let h = Chord.heal_engine chord e in
+          let r = Overlay.repair_engine overlay e in
+          let mr = Multicast.repair_engine tree tree_rng e in
+          Printf.fprintf oc
+            "t=%03.0f up=%02d | vivaldi ev=%d rs=%d | chord rerouted=%d \
+             marked=%d revived=%d | meridian ev=%d re=%d pending=%d | \
+             multicast det=%d att=%d rej=%d members=%d\n"
+            t !up v.Dynamic_neighbors.evicted v.Dynamic_neighbors.resampled
+            h.Chord.rerouted h.Chord.marked_dead h.Chord.revived
+            r.Overlay.evicted r.Overlay.reentered
+            (Overlay.pending_reentries overlay)
+            mr.Multicast.detached mr.Multicast.reattached mr.Multicast.rejoined
+            (List.length (Multicast.members tree)))
+        [| 0.; 50.; 100.; 150.; 200.; 300.; 400. |];
+      let st = Engine.stats e in
+      Printf.fprintf oc "probes issued=%d down=%d unmeasured=%d labels: %s\n"
+        st.Probe_stats.issued st.Probe_stats.down st.Probe_stats.unmeasured
+        (String.concat " "
+           (List.map
+              (fun (l, k) -> Printf.sprintf "%s=%d" l k)
+              (Probe_stats.labels st))))
+
 let () =
   vivaldi ();
   meridian ();
   alert ();
-  profile ()
+  profile ();
+  dynamics ();
+  repair ()

@@ -25,13 +25,14 @@ let n = 60
 let matrix =
   lazy (Datasets.generate ~size:n ~seed:2007 Datasets.Ds2).Generator.matrix
 
-let engine ?(churn = Churn.default) ?(charge_time = false) ~seed () =
+let engine ?(churn = Churn.default) ?dynamics ?(charge_time = false) ~seed () =
   Engine.of_matrix
     ~config:
       {
         Engine.fault = Fault.default;
         profile = None;
         churn = Some churn;
+        dynamics;
         budget = None;
         cache_ttl = None;
         cache_capacity = None;

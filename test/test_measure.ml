@@ -22,14 +22,15 @@ let checki = Alcotest.(check int)
 let euclidean_matrix seed n =
   Euclidean.uniform_box (Rng.create seed) ~n ~dim:3 ~side_ms:300.
 
-let engine ?(fault = Fault.default) ?profile ?churn ?budget ?cache_ttl
-    ?cache_capacity ?(charge_time = false) ?(seed = 7) m =
+let engine ?(fault = Fault.default) ?profile ?churn ?dynamics ?budget
+    ?cache_ttl ?cache_capacity ?(charge_time = false) ?(seed = 7) m =
   Engine.of_matrix
     ~config:
       {
         Engine.fault;
         profile;
         churn;
+        dynamics;
         budget;
         cache_ttl;
         cache_capacity;

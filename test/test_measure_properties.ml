@@ -13,6 +13,7 @@ module Cache = Tivaware_measure.Cache
 module Fault = Tivaware_measure.Fault
 module Profile = Tivaware_measure.Profile
 module Churn = Tivaware_measure.Churn
+module Dynamics = Tivaware_measure.Dynamics
 module Engine = Tivaware_measure.Engine
 module Probe_stats = Tivaware_measure.Probe_stats
 module Sim = Tivaware_eventsim.Sim
@@ -794,12 +795,190 @@ let test_config_validation () =
         };
       profile = Some (Profile.random ~loss:0.1 ~jitter:0.2 ~seed:5 ());
       churn = Some { Churn.default with Churn.fraction = 0.3 };
+      dynamics =
+        Some
+          {
+            Dynamics.diurnal = Some Dynamics.default_diurnal;
+            route_flap = Some Dynamics.default_route_flap;
+            seed = 4;
+          };
       budget = Some (Budget.per_node ~capacity:10. ~rate:1.);
       cache_ttl = Some 5.;
       cache_capacity = Some 64;
       charge_time = true;
       seed = 3;
     }
+
+(* ------------------------------------------------------------------ *)
+(* Dynamics and repair: off means bit-for-bit off                      *)
+
+(* A dynamics layer whose knobs are all at zero is not "almost" the
+   static profile — it must replay it probe for probe: same outcomes,
+   same costs, same accounting, under any clock movement. *)
+let test_zero_dynamics_replays_static () =
+  let g = rng 17 in
+  for _ = 1 to 10 do
+    let n = 6 + Rng.int g 6 in
+    let m = random_matrix g ~n in
+    let seed = Rng.int g 10_000 in
+    let profile =
+      Profile.random ~loss:(Rng.uniform g 0. 0.3) ~jitter:(Rng.uniform g 0. 0.3)
+        ~seed:(Rng.int g 1000) ()
+    in
+    let config dynamics =
+      {
+        Engine.default_config with
+        Engine.fault = { Fault.default with Fault.loss = 0.1; retries = 1 };
+        profile = Some profile;
+        dynamics;
+        charge_time = true;
+        seed;
+      }
+    in
+    let inert =
+      {
+        Dynamics.diurnal =
+          Some
+            {
+              Dynamics.default_diurnal with
+              Dynamics.loss_amplitude = 0.;
+              jitter_amplitude = 0.;
+            };
+        route_flap = Some { Dynamics.rate = 0.; max_extra = 40. };
+        seed = Rng.int g 1000;
+      }
+    in
+    let a = Engine.of_matrix ~config:(config None) m in
+    let b = Engine.of_matrix ~config:(config (Some inert)) m in
+    let wl = Rng.create (seed + 1) in
+    for _ = 1 to 300 do
+      let i, j = random_pair wl n in
+      let ta = Engine.probe_timed a i j and tb = Engine.probe_timed b i j in
+      checkb "same outcome" true (ta.Engine.outcome = tb.Engine.outcome);
+      Alcotest.(check (float 0.)) "same cost" ta.Engine.cost tb.Engine.cost
+    done;
+    Alcotest.(check (float 0.)) "same clock" (Engine.now a) (Engine.now b);
+    checki "same attempts issued" (Engine.stats a).Probe_stats.issued
+      (Engine.stats b).Probe_stats.issued
+  done
+
+(* Route-change schedules are a pure function of (config, T): the link
+   state after one jump to T equals the state after any staircase of
+   advances, however the links were queried along the way. *)
+let test_route_flap_path_independent () =
+  let g = rng 18 in
+  for _ = 1 to 10 do
+    let n = 5 + Rng.int g 5 in
+    let base = Profile.of_rates ~loss:0.05 ~jitter:0.1 in
+    let config =
+      {
+        Dynamics.diurnal = None;
+        route_flap =
+          Some
+            {
+              Dynamics.rate = Rng.uniform g 0.01 0.2;
+              max_extra = Rng.uniform g 5. 80.;
+            };
+        seed = Rng.int g 1000;
+      }
+    in
+    let horizon = Rng.uniform g 50. 400. in
+    let jump = Dynamics.create ~config base in
+    let steps = Dynamics.create ~config base in
+    Dynamics.advance_to jump horizon;
+    let t = ref 0. in
+    while !t < horizon do
+      t := !t +. Rng.uniform g 0.5 20.;
+      Dynamics.advance_to steps (Float.min !t horizon);
+      (* Interleave queries: lazy materialization must not bend the
+         schedule. *)
+      let i, j = random_pair g n in
+      ignore (Dynamics.link steps i j)
+    done;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          let a = Dynamics.link jump i j and b = Dynamics.link steps i j in
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "extra_delay %d->%d" i j)
+            a.Profile.extra_delay b.Profile.extra_delay;
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "loss %d->%d" i j)
+            a.Profile.loss b.Profile.loss
+        end
+      done
+    done;
+    (* Both have now materialized every stream up to the horizon. *)
+    checki "same route-change count" (Dynamics.route_changes jump)
+      (Dynamics.route_changes steps)
+  done
+
+(* Building the repair machinery without churn must change nothing:
+   maintenance passes find nothing to do, and protocol answers are
+   identical to a freshly built structure. *)
+let test_repair_inert_without_churn () =
+  let g = rng 19 in
+  let n = 24 in
+  let m = random_matrix g ~n in
+  (* Chord: healing on a churn-free engine marks nobody and reroutes
+     nothing; lookups keep terminating at the structural owner. *)
+  let e = Engine.of_matrix m in
+  let t = Chord.build_engine ~successor_list:6 e in
+  let h = Chord.heal_engine t e in
+  checkb "heal probed" true (h.Chord.checked > 0);
+  checki "nobody marked dead" 0 h.Chord.marked_dead;
+  checki "nobody rerouted" 0 h.Chord.rerouted;
+  for _ = 1 to 100 do
+    let key = Id_space.add (Id_space.of_node (Rng.int g n)) (Rng.int g 1_000_000) in
+    checki "live owner = structural owner" (Chord.owner_of t key)
+      (Chord.live_owner_of t key);
+    let o = Chord.lookup t m ~source:(Rng.int g n) ~key in
+    checki "lookup lands on the structural owner" (Chord.owner_of t key)
+      o.Chord.owner
+  done;
+  (* Meridian: ring maintenance on a churn-free engine evicts nothing
+     and gossips nothing. *)
+  let nodes = Rng.sample_indices g ~n ~k:10 in
+  let overlay =
+    Overlay.build g m (Ring.unlimited_config n) ~meridian_nodes:nodes
+  in
+  let before = Array.map (Overlay.ring_population overlay) nodes in
+  let r = Overlay.repair_engine overlay e in
+  checki "no evictions" 0 r.Overlay.evicted;
+  checki "no re-entries" 0 r.Overlay.reentered;
+  checki "nothing pending" 0 (Overlay.pending_reentries overlay);
+  Array.iteri
+    (fun idx node ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "rings of %d unchanged" node)
+        before.(idx)
+        (Overlay.ring_population overlay node))
+    nodes;
+  (* Multicast: repair detaches and rejoins nobody, and the parent
+     relation is untouched. *)
+  let join_order = Array.init n Fun.id in
+  Rng.shuffle g join_order;
+  let tree = Multicast.build_engine e ~join_order in
+  let parents = Array.init n (Multicast.parent tree) in
+  let mr = Multicast.repair_engine tree g e in
+  checki "nothing detached" 0 mr.Multicast.detached;
+  checki "nothing rejoined" 0 mr.Multicast.rejoined;
+  for i = 0 to n - 1 do
+    checkb "parent unchanged" true (parents.(i) = Multicast.parent tree i)
+  done;
+  (* Vivaldi: neighbor repair on a churn-free engine evicts nothing and
+     keeps every neighbor set intact. *)
+  let module Dynamic_neighbors = Tivaware_vivaldi.Dynamic_neighbors in
+  let sys = System.create_with_engine g e in
+  let neighbors = Array.init n (System.neighbors sys) in
+  let vr = Dynamic_neighbors.repair_neighbors sys in
+  checki "no neighbor evictions" 0 vr.Dynamic_neighbors.evicted;
+  checki "no resampling" 0 vr.Dynamic_neighbors.resampled;
+  for i = 0 to n - 1 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "neighbors of %d unchanged" i)
+      neighbors.(i) (System.neighbors sys i)
+  done
 
 let () =
   Alcotest.run "measure-properties"
@@ -857,4 +1036,13 @@ let () =
         ] );
       ( "validation",
         [ Alcotest.test_case "config validation" `Quick test_config_validation ] );
+      ( "dynamics",
+        [
+          Alcotest.test_case "zero dynamics replays static profile" `Quick
+            test_zero_dynamics_replays_static;
+          Alcotest.test_case "route flap path independent" `Quick
+            test_route_flap_path_independent;
+          Alcotest.test_case "repair inert without churn" `Quick
+            test_repair_inert_without_churn;
+        ] );
     ]
