@@ -7,7 +7,10 @@
      dune exec bench/main.exe -- --list       # list experiment ids
      dune exec bench/main.exe -- --only fig14 --only fig24
      dune exec bench/main.exe -- --size 1200 --seed 7
+     dune exec bench/main.exe -- --json       # also write BENCH_figures.json
      dune exec bench/main.exe -- --perf       # bechamel microbenchmarks *)
+
+module Obs = Tivaware_obs
 
 let () =
   let only = ref [] in
@@ -15,12 +18,14 @@ let () =
   let seed = ref 2007 in
   let list_only = ref false in
   let perf = ref false in
+  let json = ref false in
   let spec =
     [
       ("--only", Arg.String (fun s -> only := s :: !only), "ID run only this experiment (repeatable)");
       ("--size", Arg.Set_int size, "N DS2-like node count (default 560)");
       ("--seed", Arg.Set_int seed, "N master random seed (default 2007)");
       ("--list", Arg.Set list_only, " list experiment ids and exit");
+      ("--json", Arg.Set json, " write per-experiment wall times to BENCH_figures.json");
       ("--perf", Arg.Set perf, " run bechamel microbenchmarks instead of figures");
     ]
   in
@@ -54,12 +59,27 @@ let () =
     Printf.printf
       "tivaware bench: %d experiments, DS2-like size=%d seed=%d\n"
       (List.length entries) !size !seed;
+    let reg = Obs.Registry.create () in
     let t0 = Sys.time () in
     List.iter
       (fun e ->
         let start = Sys.time () in
         e.Registry.run ctx;
-        Printf.printf "[%s done in %.1fs]\n" e.Registry.id (Sys.time () -. start))
+        let dt = Sys.time () -. start in
+        Obs.Gauge.set
+          (Obs.Registry.gauge reg
+             ~labels:[ ("experiment", e.Registry.id) ]
+             "bench.seconds")
+          dt;
+        Printf.printf "[%s done in %.1fs]\n" e.Registry.id dt)
       entries;
-    Printf.printf "\nall experiments done in %.1fs (cpu)\n" (Sys.time () -. t0)
+    Printf.printf "\nall experiments done in %.1fs (cpu)\n" (Sys.time () -. t0);
+    if !json then begin
+      Obs.Gauge.set (Obs.Registry.gauge reg "bench.total_seconds") (Sys.time () -. t0);
+      Obs.Gauge.set (Obs.Registry.gauge reg "bench.size") (float_of_int !size);
+      Obs.Gauge.set (Obs.Registry.gauge reg "bench.seed") (float_of_int !seed);
+      Obs.Summary.write reg "BENCH_figures.json";
+      Printf.printf "wrote BENCH_figures.json (%d experiments)\n"
+        (List.length entries)
+    end
   end

@@ -143,20 +143,29 @@ let kernel_name name =
   | _ -> name
 
 let write_measure_json estimates =
+  let module Json = Tivaware_obs.Json in
   let measure =
     List.filter
       (fun (name, _) -> String.length name >= 8 && String.sub name 0 8 = "measure/")
       estimates
   in
   if measure <> [] then begin
+    let kernels =
+      List.map
+        (fun (name, ns) ->
+          (* Two decimals is far below run-to-run noise and keeps the
+             committed baseline diff-friendly. *)
+          Json.Obj
+            [
+              ("name", Json.String name);
+              ("ns_per_run", Json.number (Float.round (ns *. 100.) /. 100.));
+            ])
+        measure
+    in
+    let doc = Json.Obj [ ("kernels", Json.List kernels) ] in
     let oc = open_out "BENCH_measure.json" in
-    output_string oc "{\n  \"kernels\": [\n";
-    List.iteri
-      (fun i (name, ns) ->
-        Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %.2f}%s\n" name ns
-          (if i = List.length measure - 1 then "" else ","))
-      measure;
-    output_string oc "  ]\n}\n";
+    output_string oc (Json.to_string doc);
+    output_string oc "\n";
     close_out oc;
     Printf.printf "wrote BENCH_measure.json (%d kernels)\n" (List.length measure)
   end

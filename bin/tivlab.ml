@@ -39,6 +39,7 @@ module Churn = Tivaware_measure.Churn
 module Dynamics = Tivaware_measure.Dynamics
 module Budget = Tivaware_measure.Budget
 module Probe_stats = Tivaware_measure.Probe_stats
+module Obs = Tivaware_obs
 
 (* ---------------------------------------------------------------- *)
 (* Shared arguments                                                  *)
@@ -183,6 +184,14 @@ let dynamics_arg =
               changes, mean one per 100 s, re-drawing up to 50 ms of \
               extra delay).  $(b,none) keeps the profile static.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the run's observability summary (probe, cache, repair \
+              and alert metrics plus the trace ring) to FILE as JSON.")
+
 type meas_opts = {
   loss : float;
   jitter : float;
@@ -196,11 +205,12 @@ type meas_opts = {
   churn : bool;
   churn_fraction : float;
   dynamics : [ `None | `Diurnal | `Routeflap ];
+  metrics_out : string option;
 }
 
 let meas_term =
   let make loss jitter probe_budget cache_ttl cache_capacity retry_policy
-      retries charge_time profile churn churn_fraction dynamics =
+      retries charge_time profile churn churn_fraction dynamics metrics_out =
     {
       loss;
       jitter;
@@ -214,12 +224,14 @@ let meas_term =
       churn;
       churn_fraction;
       dynamics;
+      metrics_out;
     }
   in
   Term.(
     const make $ loss_arg $ meas_jitter_arg $ probe_budget_arg $ cache_ttl_arg
     $ cache_capacity_arg $ retry_policy_arg $ retries_arg $ charge_time_arg
-    $ profile_arg $ churn_arg $ churn_fraction_arg $ dynamics_arg)
+    $ profile_arg $ churn_arg $ churn_fraction_arg $ dynamics_arg
+    $ metrics_out_arg)
 
 let cli_backoff = { Fault.default_backoff with Fault.delay_jitter = 0.1 }
 
@@ -294,6 +306,18 @@ let make_engine m ?(labels = lazy [||]) opts ~seed =
 let print_probe_summary engine =
   Format.printf "probes: %a@." Probe_stats.pp (Engine.stats engine)
 
+(* Dump the engine's metric registry — probe/cache/repair/alert series
+   plus whatever driver-level gauges the subcommand added — as JSON. *)
+let write_metrics meas engine =
+  match meas.metrics_out with
+  | None -> ()
+  | Some path ->
+    Obs.Summary.write ~clock:(Engine.now engine) (Engine.obs engine) path;
+    Printf.printf "metrics: wrote %s\n" path
+
+let set_gauge engine name v =
+  Obs.Gauge.set (Obs.Registry.gauge (Engine.obs engine) name) v
+
 (* ---------------------------------------------------------------- *)
 (* gen                                                               *)
 
@@ -361,7 +385,14 @@ let vivaldi_cmd =
     if meas.charge_time then
       Printf.printf "virtual time: %.1f s (measurement-aware)\n"
         (Engine.now engine);
-    print_probe_summary engine
+    print_probe_summary engine;
+    set_gauge engine "vivaldi.embed_error.median_abs_ms" err.Error.median_abs;
+    set_gauge engine "vivaldi.embed_error.p90_abs_ms" err.Error.p90_abs;
+    set_gauge engine "vivaldi.embed_error.median_rel" err.Error.median_rel;
+    set_gauge engine "vivaldi.embed_error.p90_rel" err.Error.p90_rel;
+    set_gauge engine "vivaldi.selection_failures"
+      (float_of_int result.Experiment.failures);
+    write_metrics meas engine
   in
   let rounds =
     Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Embedding rounds.")
@@ -417,7 +448,15 @@ let meridian_cmd =
       result.Experiment.probes result.Experiment.queries
       result.Experiment.hops_mean result.Experiment.restarts
       result.Experiment.base.Experiment.failures;
-    print_probe_summary engine
+    print_probe_summary engine;
+    set_gauge engine "meridian.queries"
+      (float_of_int result.Experiment.queries);
+    set_gauge engine "meridian.hops_mean" result.Experiment.hops_mean;
+    set_gauge engine "meridian.restarts"
+      (float_of_int result.Experiment.restarts);
+    set_gauge engine "meridian.failures"
+      (float_of_int result.Experiment.base.Experiment.failures);
+    write_metrics meas engine
   in
   let count =
     Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Meridian node count.")
@@ -538,7 +577,8 @@ let alert_cmd =
         Printf.printf "%10.1f %8d %10.3f %8.3f\n" p.Eval.threshold p.Eval.alerts
           p.Eval.accuracy p.Eval.recall)
       points;
-    print_probe_summary engine
+    print_probe_summary engine;
+    write_metrics meas engine
   in
   let worst =
     Arg.(
@@ -632,7 +672,18 @@ let dht_cmd =
       (Stats.median lat)
       (Stats.percentile lat 90.)
       (Stats.mean lat);
-    Option.iter print_probe_summary !engine
+    (match !engine with
+    | Some e ->
+      print_probe_summary e;
+      set_gauge e "dht.lookups" (float_of_int lookups);
+      set_gauge e "dht.hops_mean" (float_of_int !hops /. float_of_int lookups);
+      set_gauge e "dht.latency_median_ms" (Stats.median lat);
+      set_gauge e "dht.latency_p90_ms" (Stats.percentile lat 90.);
+      write_metrics meas e
+    | None ->
+      if meas.metrics_out <> None then
+        prerr_endline
+          "tivlab: --metrics-out needs the measurement plane; use --pns engine")
   in
   let lookups =
     Arg.(value & opt int 1000 & info [ "lookups" ] ~docv:"N" ~doc:"Lookup count.")
@@ -701,7 +752,19 @@ let multicast_cmd =
       metrics.Multicast.members metrics.Multicast.mean_edge_ms
       metrics.Multicast.median_stretch metrics.Multicast.p90_stretch
       metrics.Multicast.max_depth metrics.Multicast.max_fanout switches;
-    Option.iter print_probe_summary engine
+    (match engine with
+    | Some e ->
+      print_probe_summary e;
+      set_gauge e "multicast.members" (float_of_int metrics.Multicast.members);
+      set_gauge e "multicast.mean_edge_ms" metrics.Multicast.mean_edge_ms;
+      set_gauge e "multicast.stretch_p50" metrics.Multicast.median_stretch;
+      set_gauge e "multicast.stretch_p90" metrics.Multicast.p90_stretch;
+      set_gauge e "multicast.refresh_switches" (float_of_int switches);
+      write_metrics meas e
+    | None ->
+      if meas.metrics_out <> None then
+        prerr_endline
+          "tivlab: --metrics-out needs the measurement plane; use --measured")
   in
   let max_degree =
     Arg.(value & opt int 6 & info [ "max-degree" ] ~docv:"N" ~doc:"Children cap.")

@@ -286,4 +286,19 @@ let heal_engine ?(label = "dht-repair") t engine =
         | _ -> ()
       end)
     t.ids;
+  let module Obs = Tivaware_obs in
+  let reg = Engine.obs engine in
+  let labels = [ ("plane", "chord") ] in
+  List.iter
+    (fun (name, v) ->
+      Obs.Counter.add (Obs.Registry.counter reg ~labels name) (float_of_int v))
+    [
+      ("repair.checked", !checked);
+      ("repair.rerouted", !rerouted);
+      ("repair.marked_dead", !marked);
+      ("repair.revived", !revived);
+    ];
+  Obs.Registry.trace_event reg ~time:(Engine.now engine) ~label:"repair.chord"
+    (Printf.sprintf "checked=%d rerouted=%d marked_dead=%d revived=%d" !checked
+       !rerouted !marked !revived);
   { checked = !checked; rerouted = !rerouted; marked_dead = !marked; revived = !revived }

@@ -1,4 +1,5 @@
 module Rng = Tivaware_util.Rng
+module Obs = Tivaware_obs
 
 type config = {
   fault : Fault.config;
@@ -29,6 +30,31 @@ let default_config =
    in logical seconds. *)
 let ms_per_second = 1000.
 
+(* Observability instruments, resolved once at engine creation so the
+   probe hot path pays plain field accesses, not registry lookups.
+   Per-plane series ([{plane=...}] labels) are resolved lazily and
+   memoized, mirroring what Probe_stats already does for its label
+   table. *)
+type instruments = {
+  i_requests : Obs.Counter.t;
+  i_sent : Obs.Counter.t;
+  i_lost : Obs.Counter.t;
+  i_retried : Obs.Counter.t;
+  i_failed : Obs.Counter.t;
+  i_denied : Obs.Counter.t;
+  i_down : Obs.Counter.t;
+  i_unmeasured : Obs.Counter.t;
+  i_hits : Obs.Counter.t;
+  i_stale : Obs.Counter.t;
+  i_misses : Obs.Counter.t;
+  i_evicted : Obs.Counter.t;
+  i_probe_ms : Obs.Counter.t;
+  i_rtt_ms : Obs.Histogram.t;
+  i_cost_ms : Obs.Histogram.t;
+  i_per_plane : (string, Obs.Counter.t * Obs.Counter.t) Hashtbl.t;
+      (* plane -> (probes sent, probe_ms) *)
+}
+
 type t = {
   config : config;
   oracle : Oracle.t;
@@ -38,8 +64,71 @@ type t = {
   budget : Budget.t option;
   cache : Cache.t option;
   stats : Probe_stats.t;
+  obs : Obs.Registry.t;
+  inst : instruments;
   mutable clock : float;
 }
+
+let rtt_edges = [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
+let cost_edges = [| 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000.; 10000. |]
+
+(* Register the whole metric schema up front — including the repair and
+   alert families other planes fill in later — so every run summary
+   carries the same series and a zero really means "nothing happened",
+   not "never wired". *)
+let make_instruments obs =
+  let counter ?labels name = Obs.Registry.counter obs ?labels name in
+  let gauge ?labels name = ignore (Obs.Registry.gauge obs ?labels name) in
+  List.iter
+    (fun (name, plane) -> ignore (counter ~labels:[ ("plane", plane) ] name))
+    [
+      ("repair.evicted", "vivaldi");
+      ("repair.resampled", "vivaldi");
+      ("repair.checked", "chord");
+      ("repair.rerouted", "chord");
+      ("repair.marked_dead", "chord");
+      ("repair.revived", "chord");
+      ("repair.evicted", "meridian");
+      ("repair.reentered", "meridian");
+      ("repair.detached", "multicast");
+      ("repair.reattached", "multicast");
+      ("repair.rejoined", "multicast");
+    ];
+  ignore (Obs.Registry.gauge obs ~labels:[ ("plane", "meridian") ] "repair.pending");
+  gauge "alert.precision";
+  gauge "alert.recall";
+  gauge "alert.f1";
+  ignore (counter "meridian.query_failures");
+  {
+    i_requests = counter "measure.requests";
+    i_sent = counter "measure.probes.sent";
+    i_lost = counter "measure.probes.lost";
+    i_retried = counter "measure.probes.retried";
+    i_failed = counter "measure.probes.failed";
+    i_denied = counter "measure.probes.denied";
+    i_down = counter "measure.probes.down";
+    i_unmeasured = counter "measure.probes.unmeasured";
+    i_hits = counter "measure.cache.hits";
+    i_stale = counter "measure.cache.stale";
+    i_misses = counter "measure.cache.misses";
+    i_evicted = counter "measure.cache.evicted";
+    i_probe_ms = counter "measure.probe_ms";
+    i_rtt_ms = Obs.Registry.histogram obs ~edges:rtt_edges "measure.rtt_ms";
+    i_cost_ms = Obs.Registry.histogram obs ~edges:cost_edges "measure.cost_ms";
+    i_per_plane = Hashtbl.create 8;
+  }
+
+let plane_counters t plane =
+  match Hashtbl.find_opt t.inst.i_per_plane plane with
+  | Some pair -> pair
+  | None ->
+    let labels = [ ("plane", plane) ] in
+    let pair =
+      ( Obs.Registry.counter t.obs ~labels "measure.probes.sent",
+        Obs.Registry.counter t.obs ~labels "measure.probe_ms" )
+    in
+    Hashtbl.replace t.inst.i_per_plane plane pair;
+    pair
 
 let validate_config (config : config) =
   Fault.validate_config "Engine.create" config.fault;
@@ -97,6 +186,7 @@ let create ?(config = default_config) oracle =
      (everyone starts up); non-churning nodes keep whatever the
      config.outage draw decided. *)
   Option.iter (fun c -> Churn.sync c fault) churn;
+  let obs = Obs.Registry.create () in
   {
     config;
     oracle;
@@ -109,6 +199,8 @@ let create ?(config = default_config) oracle =
         (fun ttl -> Cache.create ?capacity:config.cache_capacity ~ttl ())
         config.cache_ttl;
     stats = Probe_stats.create ();
+    obs;
+    inst = make_instruments obs;
     clock = 0.;
   }
 
@@ -121,6 +213,7 @@ let matrix_exn t = Oracle.matrix_exn t.oracle
 let fault t = t.fault
 let churn t = t.churn
 let dynamics t = t.dynamics
+let obs t = t.obs
 
 let now t = t.clock
 
@@ -164,6 +257,14 @@ type timed = {
    attempts, and backoff delays between retries. *)
 let probe_uncached t label i j =
   let st = t.stats in
+  let inst = t.inst in
+  let issue () =
+    Probe_stats.record_issue st label;
+    Obs.Counter.incr inst.i_sent;
+    match label with
+    | None -> ()
+    | Some plane -> Obs.Counter.incr (fst (plane_counters t plane))
+  in
   let timeout = (Fault.config t.fault).Fault.timeout in
   let cost = ref 0. in
   let admitted =
@@ -173,6 +274,7 @@ let probe_uncached t label i j =
   in
   if not admitted then begin
     st.Probe_stats.denied <- st.Probe_stats.denied + 1;
+    Obs.Counter.incr inst.i_denied;
     { outcome = Denied; cost = 0. }
   end
   else begin
@@ -186,6 +288,7 @@ let probe_uncached t label i j =
     let rec attempt k =
       if k > 0 then begin
         st.Probe_stats.retried <- st.Probe_stats.retried + 1;
+        Obs.Counter.incr inst.i_retried;
         cost := !cost +. Fault.backoff_delay t.fault ~attempt:k
       end;
       (* Re-admission for retransmissions; the first attempt was charged
@@ -199,17 +302,20 @@ let probe_uncached t label i j =
       in
       if not admitted then begin
         st.Probe_stats.denied <- st.Probe_stats.denied + 1;
+        Obs.Counter.incr inst.i_denied;
         Denied
       end
       else begin
-        Probe_stats.record_issue st label;
+        issue ();
         if endpoint_down then begin
           st.Probe_stats.lost <- st.Probe_stats.lost + 1;
+          Obs.Counter.incr inst.i_lost;
           Fault.record_outcome t.fault i j ~lost:true;
           cost := !cost +. timeout;
           if k < retries then attempt (k + 1)
           else begin
             st.Probe_stats.down <- st.Probe_stats.down + 1;
+            Obs.Counter.incr inst.i_down;
             Down
           end
         end
@@ -217,6 +323,7 @@ let probe_uncached t label i j =
           let true_rtt = Oracle.query t.oracle i j in
           if Float.is_nan true_rtt then begin
             st.Probe_stats.unmeasured <- st.Probe_stats.unmeasured + 1;
+            Obs.Counter.incr inst.i_unmeasured;
             (* Indistinguishable from loss at the prober: it waits the
                timeout and its loss estimate takes the hit. *)
             Fault.record_outcome t.fault i j ~lost:true;
@@ -228,19 +335,23 @@ let probe_uncached t label i j =
             | Fault.Delivered sample ->
               Fault.record_outcome t.fault i j ~lost:false;
               cost := !cost +. sample;
+              Obs.Histogram.observe inst.i_rtt_ms sample;
               Option.iter
                 (fun c ->
-                  st.Probe_stats.evicted <-
-                    st.Probe_stats.evicted + Cache.store c ~now:t.clock i j sample)
+                  let evicted = Cache.store c ~now:t.clock i j sample in
+                  st.Probe_stats.evicted <- st.Probe_stats.evicted + evicted;
+                  Obs.Counter.add inst.i_evicted (float_of_int evicted))
                 t.cache;
               Rtt sample
             | Fault.Dropped ->
               st.Probe_stats.lost <- st.Probe_stats.lost + 1;
+              Obs.Counter.incr inst.i_lost;
               Fault.record_outcome t.fault i j ~lost:true;
               cost := !cost +. timeout;
               if k < retries then attempt (k + 1)
               else begin
                 st.Probe_stats.failed <- st.Probe_stats.failed + 1;
+                Obs.Counter.incr inst.i_failed;
                 Lost
               end
           end
@@ -253,7 +364,9 @@ let probe_uncached t label i j =
 
 let probe_timed ?label t i j =
   let st = t.stats in
+  let inst = t.inst in
   st.Probe_stats.requests <- st.Probe_stats.requests + 1;
+  Obs.Counter.incr inst.i_requests;
   let timed =
     match t.cache with
     | None -> probe_uncached t label i j
@@ -261,15 +374,25 @@ let probe_timed ?label t i j =
       match Cache.find c ~now:t.clock i j with
       | Cache.Hit v ->
         st.Probe_stats.hits <- st.Probe_stats.hits + 1;
+        Obs.Counter.incr inst.i_hits;
         { outcome = Cached v; cost = 0. }
       | Cache.Stale ->
         st.Probe_stats.stale <- st.Probe_stats.stale + 1;
+        Obs.Counter.incr inst.i_stale;
         probe_uncached t label i j
       | Cache.Miss ->
         st.Probe_stats.misses <- st.Probe_stats.misses + 1;
+        Obs.Counter.incr inst.i_misses;
         probe_uncached t label i j)
   in
   st.Probe_stats.probe_ms <- st.Probe_stats.probe_ms +. timed.cost;
+  Obs.Histogram.observe inst.i_cost_ms timed.cost;
+  if timed.cost > 0. then begin
+    Obs.Counter.add inst.i_probe_ms timed.cost;
+    match label with
+    | None -> ()
+    | Some plane -> Obs.Counter.add (snd (plane_counters t plane)) timed.cost
+  end;
   if t.config.charge_time && timed.cost > 0. then begin
     t.clock <- t.clock +. (timed.cost /. ms_per_second);
     sync_churn t

@@ -160,3 +160,17 @@ val stats : t -> Probe_stats.t
     {!Probe_stats.snapshot} to diff around a phase. *)
 
 val reset_stats : t -> unit
+
+(** {2 Observability} *)
+
+val obs : t -> Tivaware_obs.Registry.t
+(** The engine's metric registry.  Created with the engine and updated
+    on every probe: request/outcome/cache counters ([measure.*],
+    mirroring {!Probe_stats}), per-plane probe and charged-time series
+    ([measure.probes.sent{plane=...}], [measure.probe_ms{plane=...}]),
+    and RTT/cost histograms.  The repair planes, TIV alert evaluation
+    and Meridian queries record their [repair.*], [alert.*] and
+    [meridian.*] series here too — those families are pre-registered at
+    zero so every {!Tivaware_obs.Summary} carries the full schema.
+    Serialize with {!Tivaware_obs.Summary.to_json}, stamping
+    {!now} as the clock. *)

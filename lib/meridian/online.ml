@@ -1,6 +1,26 @@
 module Sim = Tivaware_eventsim.Sim
 module Matrix = Tivaware_delay_space.Matrix
 module Engine = Tivaware_measure.Engine
+module Obs = Tivaware_obs
+
+let latency_edges = [| 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000. |]
+
+(* Event-driven query accounting: same [meridian.*] series as the
+   synchronous {!Query} driver, plus the end-to-end client latency the
+   simulator observed.  A failed query ([chosen_delay = nan]) increments
+   the failure counter instead of silently vanishing into the mean. *)
+let record_online engine outcome =
+  let reg = Engine.obs engine in
+  if Float.is_nan outcome.Query.chosen_delay then begin
+    Obs.Counter.incr (Obs.Registry.counter reg "meridian.query_failures");
+    Obs.Registry.trace_event reg ~time:(Engine.now engine) ~label:"meridian"
+      (Printf.sprintf "online query failed at start=%d after %d probes"
+         outcome.Query.chosen outcome.Query.probes)
+  end
+  else
+    Obs.Histogram.observe
+      (Obs.Registry.histogram reg ~edges:Query.hop_edges "meridian.query_hops")
+      (float_of_int outcome.Query.hops)
 
 type outcome = {
   query : Query.outcome;
@@ -222,5 +242,11 @@ let closest_engine ?(termination = Query.Threshold) sim overlay engine ~client
   Sim.schedule_after sim (transit client start /. 2.) (fun () -> arrive_at start);
   Sim.run sim;
   match !finished with
-  | Some outcome -> outcome
+  | Some outcome ->
+    record_online engine outcome.query;
+    Obs.Histogram.observe
+      (Obs.Registry.histogram (Engine.obs engine) ~edges:latency_edges
+         "meridian.query_latency_ms")
+      outcome.latency;
+    outcome
   | None -> assert false

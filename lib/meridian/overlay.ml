@@ -237,6 +237,18 @@ let repair_engine ?(label = "meridian-repair") t engine =
         end
       end)
     (List.sort compare pending);
+  let module Obs = Tivaware_obs in
+  let reg = Engine.obs engine in
+  let labels = [ ("plane", "meridian") ] in
+  Obs.Counter.add (Obs.Registry.counter reg ~labels "repair.evicted")
+    (float_of_int !evicted);
+  Obs.Counter.add (Obs.Registry.counter reg ~labels "repair.reentered")
+    (float_of_int !reentered);
+  Obs.Gauge.set (Obs.Registry.gauge reg ~labels "repair.pending")
+    (float_of_int (Hashtbl.length t.pending_reentry));
+  Obs.Registry.trace_event reg ~time:(Engine.now engine) ~label:"repair.meridian"
+    (Printf.sprintf "evicted=%d reentered=%d pending=%d" !evicted !reentered
+       (Hashtbl.length t.pending_reentry));
   { evicted = !evicted; reentered = !reentered }
 
 let pending_reentries t = Hashtbl.length t.pending_reentry

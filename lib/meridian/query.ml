@@ -1,5 +1,6 @@
 module Matrix = Tivaware_delay_space.Matrix
 module Engine = Tivaware_measure.Engine
+module Obs = Tivaware_obs
 
 type termination = Threshold | Any_improvement
 
@@ -60,6 +61,33 @@ let probe_timed st node =
 
 let probe st node = fst (probe_timed st node)
 
+let hop_edges = [| 0.; 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16. |]
+let probe_count_edges = [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200. |]
+
+(* Query-level accounting on the engine's registry.  A query that ends
+   with [chosen_delay = nan] (first-hop probe failure: loss, outage,
+   denial or a missing pair) used to be invisible outside the caller's
+   own bookkeeping — count it, so failed queries show up in every run
+   summary next to the probe counters. *)
+let record_query engine outcome =
+  let reg = Engine.obs engine in
+  if Float.is_nan outcome.chosen_delay then begin
+    Obs.Counter.incr (Obs.Registry.counter reg "meridian.query_failures");
+    Obs.Registry.trace_event reg ~time:(Engine.now engine) ~label:"meridian"
+      (Printf.sprintf "query failed at start=%d after %d probes" outcome.chosen
+         outcome.probes)
+  end
+  else begin
+    Obs.Histogram.observe
+      (Obs.Registry.histogram reg ~edges:hop_edges "meridian.query_hops")
+      (float_of_int outcome.hops);
+    Obs.Histogram.observe
+      (Obs.Registry.histogram reg ~edges:probe_count_edges
+         "meridian.query_probes")
+      (float_of_int outcome.probes)
+  end;
+  outcome
+
 let eligible_members overlay current d =
   let beta = (Overlay.config overlay).Ring.beta in
   let lo = (1. -. beta) *. d and hi = (1. +. beta) *. d in
@@ -112,14 +140,15 @@ let closest_engine ?(termination = Threshold) ?fallback overlay engine ~start
     (* The start node could not measure the target (missing pair, lost
        probe, outage or budget denial): the query dies at the first
        hop.  Callers detect the [nan] delay and fall back. *)
-    {
-      chosen = start;
-      chosen_delay = nan;
-      probes = st.probes;
-      hops = 0;
-      restarts = 0;
-      path = [ start ];
-    }
+    record_query engine
+      {
+        chosen = start;
+        chosen_delay = nan;
+        probes = st.probes;
+        hops = 0;
+        restarts = 0;
+        path = [ start ];
+      }
   else begin
   let visited = Hashtbl.create 16 in
   let restarts = ref 0 in
@@ -162,14 +191,15 @@ let closest_engine ?(termination = Threshold) ?fallback overlay engine ~start
     | None -> (path, hops)
   in
   let path, hops = loop start d0 [ start ] 0 in
-  {
-    chosen = st.best;
-    chosen_delay = st.best_delay;
-    probes = st.probes;
-    hops;
-    restarts = !restarts;
-    path = List.rev path;
-  }
+  record_query engine
+    {
+      chosen = st.best;
+      chosen_delay = st.best_delay;
+      probes = st.probes;
+      hops;
+      restarts = !restarts;
+      path = List.rev path;
+    }
   end
 
 let closest ?termination ?fallback overlay matrix ~start ~target =
@@ -224,14 +254,15 @@ let closest_multi_engine ?(termination = Threshold) overlay engine ~start
   in
   let d0 = measure start in
   if Float.is_nan d0 then
-    {
-      chosen = start;
-      chosen_delay = nan;
-      probes = !probes;
-      hops = 0;
-      restarts = 0;
-      path = [ start ];
-    }
+    record_query engine
+      {
+        chosen = start;
+        chosen_delay = nan;
+        probes = !probes;
+        hops = 0;
+        restarts = 0;
+        path = [ start ];
+      }
   else begin
   let best = ref start and best_delay = ref d0 in
   let consider node d =
@@ -267,14 +298,15 @@ let closest_multi_engine ?(termination = Threshold) overlay engine ~start
     | _ -> (path, hops)
   in
   let path, hops = loop start d0 [ start ] 0 in
-  {
-    chosen = !best;
-    chosen_delay = !best_delay;
-    probes = !probes;
-    hops;
-    restarts = 0;
-    path = List.rev path;
-  }
+  record_query engine
+    {
+      chosen = !best;
+      chosen_delay = !best_delay;
+      probes = !probes;
+      hops;
+      restarts = 0;
+      path = List.rev path;
+    }
   end
 
 let closest_multi ?termination overlay matrix ~start ~targets =

@@ -140,3 +140,8 @@ val eligible_members : Overlay.t -> int -> float -> Overlay.member list
 val accepts : termination -> beta:float -> d:float -> candidate_delay:float -> bool
 (** The forwarding rule: whether a candidate at [candidate_delay] from
     the target justifies continuing from a node at distance [d]. *)
+
+val hop_edges : float array
+(** Bucket edges of the [meridian.query_hops] histogram (shared with
+    the event-driven {!Online} driver so both record into the same
+    series). *)

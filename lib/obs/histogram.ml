@@ -1,0 +1,58 @@
+type t = {
+  edges : float array;
+  counts : int array;  (* length = edges + 1; last is overflow *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable sum : float;
+}
+
+let create ~edges =
+  let n = Array.length edges in
+  if n = 0 then invalid_arg "Histogram.create: no bucket edges";
+  Array.iteri
+    (fun i e ->
+      if not (Float.is_finite e) then
+        invalid_arg "Histogram.create: edges must be finite";
+      if i > 0 && edges.(i - 1) >= e then
+        invalid_arg "Histogram.create: edges must be strictly increasing")
+    edges;
+  {
+    edges = Array.copy edges;
+    counts = Array.make (n + 1) 0;
+    count = 0;
+    dropped = 0;
+    sum = 0.;
+  }
+
+(* First bucket whose upper edge is >= v; [Array.length edges] when v
+   exceeds every edge (the overflow bucket). *)
+let bucket_of t v =
+  let n = Array.length t.edges in
+  if v <= t.edges.(0) then 0
+  else if v > t.edges.(n - 1) then n
+  else begin
+    (* Invariant: edges.(lo) < v <= edges.(hi). *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v <= t.edges.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let observe t v =
+  if Float.is_nan v then t.dropped <- t.dropped + 1
+  else begin
+    let b = bucket_of t v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.count <- t.count + 1;
+    (* Keep the sum finite even for infinite observations. *)
+    if Float.is_finite v then t.sum <- t.sum +. v
+  end
+
+let count t = t.count
+let dropped t = t.dropped
+let sum t = t.sum
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+let edges t = Array.copy t.edges
+let counts t = Array.copy t.counts

@@ -1,0 +1,32 @@
+(** A fixed-bucket histogram.
+
+    Buckets are defined by a strictly increasing array of finite upper
+    edges; an observation lands in the first bucket whose edge is at or
+    above it (upper-inclusive, Prometheus-style), or in the implicit
+    overflow bucket past the last edge.  Cheap enough for the probe hot
+    path: one binary search and two stores per observation. *)
+
+type t
+
+val create : edges:float array -> t
+(** Raises [Invalid_argument] when [edges] is empty, non-finite or not
+    strictly increasing. *)
+
+val observe : t -> float -> unit
+(** NaN observations are dropped (they carry no magnitude to bin) and
+    tallied in {!dropped}; infinities land in the overflow bucket. *)
+
+val count : t -> int
+(** Observations binned (dropped NaNs excluded). *)
+
+val dropped : t -> int
+val sum : t -> float
+val mean : t -> float
+(** [nan] when empty. *)
+
+val edges : t -> float array
+(** A copy of the upper edges. *)
+
+val counts : t -> int array
+(** A copy of the per-bucket counts; length [Array.length edges + 1],
+    last entry the overflow bucket. *)

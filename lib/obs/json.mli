@@ -1,0 +1,40 @@
+(** Minimal JSON values, zero dependencies.
+
+    Just enough for run summaries and bench baselines: a value type,
+    a deterministic printer, and a strict recursive-descent parser.
+    Numbers are split into [Int] (emitted without a decimal point) and
+    [Float]; floats print with 6 significant digits, which both absorbs
+    last-ulp libm drift across machines and guarantees decimal
+    round-trip stability ([of_string (to_string v)] re-prints
+    identically). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val number : float -> t
+(** [Float f], except non-finite values become [Null] (JSON has no
+    NaN/infinity) and integral values in the exactly-representable
+    range become [Int]. *)
+
+val to_string : ?indent:bool -> t -> string
+(** Deterministic serialization: object fields are emitted in the order
+    given (build them sorted for stable output).  [indent] pretty-prints
+    with two-space indentation (default [true]). *)
+
+val of_string : string -> t
+(** Strict parse of a single JSON value (surrounding whitespace
+    allowed).  Raises [Failure] with a byte offset on malformed
+    input.  Numbers parse as [Int] when they carry no fraction or
+    exponent and fit in an OCaml [int], as [Float] otherwise. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on other values or a missing key. *)
+
+val to_float : t -> float option
+(** Numeric view of [Int] or [Float]. *)

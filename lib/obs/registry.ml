@@ -1,0 +1,81 @@
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+type t = {
+  table : (string, metric) Hashtbl.t;
+  trace : Trace.t;
+}
+
+let create ?trace_capacity () =
+  { table = Hashtbl.create 64; trace = Trace.create ?capacity:trace_capacity () }
+
+let series_name name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) sorted)
+    ^ "}"
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_create t name labels ~kind ~make =
+  let key = series_name name labels in
+  match Hashtbl.find_opt t.table key with
+  | Some m -> m
+  | None ->
+    ignore kind;
+    let m = make () in
+    Hashtbl.replace t.table key m;
+    m
+
+let mismatch key existing wanted =
+  invalid_arg
+    (Printf.sprintf "Registry: %s is already registered as a %s, not a %s" key
+       (kind_name existing) wanted)
+
+let counter t ?(labels = []) name =
+  match
+    find_or_create t name labels ~kind:"counter" ~make:(fun () ->
+        Counter (Counter.create ()))
+  with
+  | Counter c -> c
+  | other -> mismatch (series_name name labels) other "counter"
+
+let gauge t ?(labels = []) name =
+  match
+    find_or_create t name labels ~kind:"gauge" ~make:(fun () ->
+        Gauge (Gauge.create ()))
+  with
+  | Gauge g -> g
+  | other -> mismatch (series_name name labels) other "gauge"
+
+let histogram t ?(labels = []) ~edges name =
+  match
+    find_or_create t name labels ~kind:"histogram" ~make:(fun () ->
+        Histogram (Histogram.create ~edges))
+  with
+  | Histogram h ->
+    if Histogram.edges h <> edges then
+      invalid_arg
+        (Printf.sprintf
+           "Registry: histogram %s is already registered with different bucket \
+            edges"
+           (series_name name labels));
+    h
+  | other -> mismatch (series_name name labels) other "histogram"
+
+let trace t = t.trace
+let trace_event t ~time ~label message = Trace.record t.trace ~time ~label message
+
+let metrics t =
+  Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,45 @@
+(** The metric registry: named, labelled counters, gauges and
+    histograms plus one trace-event ring.
+
+    Metrics are keyed by [(name, labels)].  Labels are key/value pairs
+    canonicalized by key order, so [[("plane","vivaldi")]] names the
+    same series however the caller orders it; the conventional label
+    throughout this repo is [plane] (protocol layer: [vivaldi],
+    [meridian], [chord], [multicast], [alert]).  Accessors
+    find-or-create: the first call registers the instrument, later
+    calls return the same one — so instruments can be resolved once
+    and cached on hot paths, and metric families can be pre-registered
+    at zero so every run summary carries the full schema.
+
+    Re-registering a name+labels under a different metric kind (or a
+    histogram under different edges) raises [Invalid_argument]: a
+    series never silently changes shape. *)
+
+type t
+
+val create : ?trace_capacity:int -> unit -> t
+(** An empty registry with a trace ring (default capacity 256). *)
+
+val counter : t -> ?labels:(string * string) list -> string -> Counter.t
+val gauge : t -> ?labels:(string * string) list -> string -> Gauge.t
+
+val histogram :
+  t -> ?labels:(string * string) list -> edges:float array -> string -> Histogram.t
+(** [edges] applies on first registration; later lookups must pass the
+    same edges ([Invalid_argument] otherwise). *)
+
+val trace : t -> Trace.t
+val trace_event : t -> time:float -> label:string -> string -> unit
+(** Record into the registry's ring. *)
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+val series_name : string -> (string * string) list -> string
+(** The canonical series key, [name] or [name{k=v,...}] with labels
+    sorted by key. *)
+
+val metrics : t -> (string * metric) list
+(** Every registered series keyed by {!series_name}, sorted. *)

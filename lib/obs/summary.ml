@@ -1,0 +1,68 @@
+let schema = "tivaware.obs/1"
+
+let histogram_json h =
+  let edges = Histogram.edges h in
+  let counts = Histogram.counts h in
+  let buckets =
+    List.init (Array.length counts) (fun i ->
+        let le =
+          if i < Array.length edges then Json.number edges.(i)
+          else Json.String "+inf"
+        in
+        Json.Obj [ ("le", le); ("count", Json.Int counts.(i)) ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("sum", Json.number (Histogram.sum h));
+      ( "mean",
+        if Histogram.count h = 0 then Json.Null
+        else Json.number (Histogram.mean h) );
+      ("dropped", Json.Int (Histogram.dropped h));
+      ("buckets", Json.List buckets);
+    ]
+
+let to_json ?clock registry =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (key, metric) ->
+      match metric with
+      | Registry.Counter c ->
+        counters := (key, Json.number (Counter.value c)) :: !counters
+      | Registry.Gauge g ->
+        gauges := (key, Json.number (Gauge.value g)) :: !gauges
+      | Registry.Histogram h -> histograms := (key, histogram_json h) :: !histograms)
+    (Registry.metrics registry);
+  let trace = Registry.trace registry in
+  let events =
+    List.map
+      (fun e ->
+        Json.Obj
+          [
+            ("t", Json.number e.Trace.time);
+            ("label", Json.String e.Trace.label);
+            ("event", Json.String e.Trace.message);
+          ])
+      (Trace.events trace)
+  in
+  Json.Obj
+    (("schema", Json.String schema)
+     ::
+     (match clock with
+     | None -> []
+     | Some c -> [ ("clock", Json.number c) ])
+    @ [
+        ("counters", Json.Obj (List.rev !counters));
+        ("gauges", Json.Obj (List.rev !gauges));
+        ("histograms", Json.Obj (List.rev !histograms));
+        ("trace", Json.List events);
+        ("trace_dropped", Json.Int (Trace.dropped trace));
+      ])
+
+let to_string ?clock registry = Json.to_string (to_json ?clock registry) ^ "\n"
+
+let write ?clock registry path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?clock registry))

@@ -1,0 +1,35 @@
+(** JSON run summaries of a {!Registry}.
+
+    The summary is the machine-readable face of a run: every counter,
+    gauge and histogram (sorted by series name, so output is
+    deterministic) plus the trace ring, under a versioned schema tag.
+    Counters that only ever saw integral increments serialize as JSON
+    integers; all floats print with 6 significant digits
+    ({!Json.to_string}), which keeps fixtures stable across machines.
+
+    Layout:
+    {v
+    { "schema": "tivaware.obs/1",
+      "clock": 37.5,
+      "counters":   { "measure.probes.sent{plane=vivaldi}": 4800, ... },
+      "gauges":     { "alert.precision": 0.84, ... },
+      "histograms": { "measure.rtt_ms":
+                        { "count": 4800, "sum": 211000.0, "mean": 43.9,
+                          "dropped": 0,
+                          "buckets": [ {"le": 10.0, "count": 12}, ...,
+                                       {"le": "+inf", "count": 3} ] } },
+      "trace":      [ {"t": 50.0, "label": "repair.vivaldi",
+                       "event": "evicted=3 resampled=3"}, ... ],
+      "trace_dropped": 0 }
+    v} *)
+
+val to_json : ?clock:float -> Registry.t -> Json.t
+(** [clock] stamps the run's logical end time (the engine clock);
+    omitted when absent. *)
+
+val to_string : ?clock:float -> Registry.t -> string
+(** [Json.to_string] of {!to_json} (indented), plus a trailing
+    newline. *)
+
+val write : ?clock:float -> Registry.t -> string -> unit
+(** Write {!to_string} to a file path. *)

@@ -306,14 +306,32 @@ let repair t rng m ~predict ~up =
 let repair_engine ?(label = "multicast-repair") t rng engine =
   let module Engine = Tivaware_measure.Engine in
   let module Churn = Tivaware_measure.Churn in
+  let module Obs = Tivaware_obs in
   let up i =
     match Engine.churn engine with
     | None -> true
     | Some c -> Churn.is_up c i
   in
-  repair t rng (Engine.matrix_exn engine)
-    ~predict:(Engine.rtt ~label engine)
-    ~up
+  let result =
+    repair t rng (Engine.matrix_exn engine)
+      ~predict:(Engine.rtt ~label engine)
+      ~up
+  in
+  let reg = Engine.obs engine in
+  let labels = [ ("plane", "multicast") ] in
+  List.iter
+    (fun (name, v) ->
+      Obs.Counter.add (Obs.Registry.counter reg ~labels name) (float_of_int v))
+    [
+      ("repair.detached", result.detached);
+      ("repair.reattached", result.reattached);
+      ("repair.rejoined", result.rejoined);
+    ];
+  Obs.Registry.trace_event reg ~time:(Engine.now engine)
+    ~label:"repair.multicast"
+    (Printf.sprintf "detached=%d reattached=%d rejoined=%d" result.detached
+       result.reattached result.rejoined);
+  result
 
 (* Measurement-plane neighbor selection: joins and refreshes predict
    edge delays by probing through the engine; tree evaluation stays on

@@ -35,6 +35,43 @@ let evaluate ~ratios ~severity ~worst_fraction ~thresholds =
       })
     thresholds
 
+let f1 p =
+  if p.accuracy +. p.recall <= 0. then 0.
+  else 2. *. p.accuracy *. p.recall /. (p.accuracy +. p.recall)
+
+(* Alert quality as gauges on the engine's registry: one labelled
+   series per swept threshold, plus headline [alert.precision/recall/
+   f1] gauges taken from the best-F1 point (deterministic: first wins
+   ties in sweep order). *)
+let record_obs engine points =
+  let module Obs = Tivaware_obs in
+  let module Engine = Tivaware_measure.Engine in
+  let reg = Engine.obs engine in
+  List.iter
+    (fun p ->
+      let labels = [ ("threshold", Printf.sprintf "%.1f" p.threshold) ] in
+      Obs.Gauge.set (Obs.Registry.gauge reg ~labels "alert.precision") p.accuracy;
+      Obs.Gauge.set (Obs.Registry.gauge reg ~labels "alert.recall") p.recall;
+      Obs.Gauge.set (Obs.Registry.gauge reg ~labels "alert.f1") (f1 p);
+      Obs.Gauge.set
+        (Obs.Registry.gauge reg ~labels "alert.alerts")
+        (float_of_int p.alerts))
+    points;
+  match points with
+  | [] -> ()
+  | first :: _ ->
+    let best =
+      List.fold_left (fun acc p -> if f1 p > f1 acc then p else acc) first points
+    in
+    Obs.Gauge.set (Obs.Registry.gauge reg "alert.precision") best.accuracy;
+    Obs.Gauge.set (Obs.Registry.gauge reg "alert.recall") best.recall;
+    Obs.Gauge.set (Obs.Registry.gauge reg "alert.f1") (f1 best);
+    Obs.Registry.trace_event reg ~time:(Engine.now engine) ~label:"alert"
+      (Printf.sprintf "best threshold=%.1f precision=%.3f recall=%.3f f1=%.3f"
+         best.threshold best.accuracy best.recall (f1 best))
+
 let evaluate_engine ~engine ~predicted ~severity ~worst_fraction ~thresholds =
   let ratios = Alert.ratio_matrix_engine ~engine ~predicted in
-  evaluate ~ratios ~severity ~worst_fraction ~thresholds
+  let points = evaluate ~ratios ~severity ~worst_fraction ~thresholds in
+  record_obs engine points;
+  points

@@ -31,7 +31,14 @@ val evaluate_engine :
 (** As {!evaluate}, but the prediction-ratio matrix is measured through
     the probe engine ({!Alert.ratio_matrix_engine}), so alert precision
     reflects measurement loss and jitter rather than oracle delays.
-    Severity stays ground truth. *)
+    Severity stays ground truth.  Alert quality is also recorded on the
+    engine's metric registry: per-threshold
+    [alert.{precision,recall,f1,alerts}{threshold=...}] gauges plus
+    headline unlabelled gauges from the best-F1 point. *)
+
+val f1 : point -> float
+(** Harmonic mean of accuracy (precision) and recall; 0 when both
+    vanish. *)
 
 val default_thresholds : float list
 (** 0.1, 0.2, ..., 1.0 as swept in the paper's figures. *)

@@ -1,6 +1,7 @@
 module Rng = Tivaware_util.Rng
 module Engine = Tivaware_measure.Engine
 module Churn = Tivaware_measure.Churn
+module Obs = Tivaware_obs
 
 type schedule = {
   rounds_per_iteration : int;
@@ -118,4 +119,12 @@ let repair_neighbors ?(label = "vivaldi-repair") system =
       end
     end
   done;
+  let reg = Engine.obs engine in
+  let labels = [ ("plane", "vivaldi") ] in
+  Obs.Counter.add (Obs.Registry.counter reg ~labels "repair.evicted")
+    (float_of_int !evicted);
+  Obs.Counter.add (Obs.Registry.counter reg ~labels "repair.resampled")
+    (float_of_int !resampled);
+  Obs.Registry.trace_event reg ~time:(Engine.now engine) ~label:"repair.vivaldi"
+    (Printf.sprintf "evicted=%d resampled=%d" !evicted !resampled);
   { evicted = !evicted; resampled = !resampled }

@@ -1,0 +1,119 @@
+(* Metrics-snapshot gate for CI: compare a freshly produced tivlab
+   --metrics-out summary against a committed fixture.
+
+     metrics_check [--tol F] EXPECTED ACTUAL
+
+   The comparison is structural, not textual: both files must carry the
+   same keys (a metric appearing or disappearing is a failure either
+   way), strings and booleans must match exactly, and numbers must agree
+   within a relative tolerance — seeded runs are bit-deterministic in
+   probe *counts*, but derived means can drift by an ulp across libm
+   versions.  The trace ring is excluded: event wording is
+   documentation, not contract. *)
+
+module Json = Tivaware_obs.Json
+
+(* Default relative tolerance for numeric fields; override per scenario
+   with --tol when a summary carries genuinely noisy series. *)
+let default_tolerance = 0.02
+
+let failures = ref 0
+
+let fail path fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s: %s\n" path s)
+    fmt
+
+let close ~tol a b =
+  a = b
+  || Float.abs (a -. b) <= tol *. Float.max (Float.abs a) (Float.abs b)
+
+let rec compare_json ~tol path expected actual =
+  match (expected, actual) with
+  | Json.Null, Json.Null -> ()
+  | Json.Bool a, Json.Bool b ->
+    if a <> b then fail path "expected %b, got %b" a b
+  | (Json.Int _ | Json.Float _), (Json.Int _ | Json.Float _) ->
+    let a = Option.get (Json.to_float expected)
+    and b = Option.get (Json.to_float actual) in
+    if not (close ~tol a b) then
+      fail path "expected %g, got %g (tolerance %g)" a b tol
+  | Json.String a, Json.String b ->
+    if a <> b then fail path "expected %S, got %S" a b
+  | Json.List a, Json.List b ->
+    if List.length a <> List.length b then
+      fail path "expected %d elements, got %d" (List.length a) (List.length b)
+    else
+      List.iteri
+        (fun i (e, a) -> compare_json ~tol (Printf.sprintf "%s[%d]" path i) e a)
+        (List.combine a b)
+  | Json.Obj a, Json.Obj b ->
+    let keys l = List.sort compare (List.map fst l) in
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k b) then fail path "missing key %S" k)
+      (keys a);
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k a) then fail path "unexpected key %S" k)
+      (keys b);
+    List.iter
+      (fun (k, e) ->
+        match List.assoc_opt k b with
+        | Some v -> compare_json ~tol (path ^ "." ^ k) e v
+        | None -> ())
+      a
+  | _ ->
+    fail path "type mismatch"
+
+(* Drop the trace ring before comparing. *)
+let strip_trace = function
+  | Json.Obj fields ->
+    Json.Obj (List.filter (fun (k, _) -> k <> "trace" && k <> "trace_dropped") fields)
+  | v -> v
+
+let read_json path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      prerr_endline ("metrics_check: " ^ msg);
+      exit 2
+  in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  try Json.of_string s
+  with Failure msg ->
+    prerr_endline (Printf.sprintf "metrics_check: %s: %s" path msg);
+    exit 2
+
+let () =
+  let tol = ref default_tolerance in
+  let positional = ref [] in
+  let rec parse = function
+    | "--tol" :: v :: rest ->
+      tol := float_of_string v;
+      parse rest
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let expected_path, actual_path =
+    match List.rev !positional with
+    | [ e; a ] -> (e, a)
+    | _ ->
+      prerr_endline "usage: metrics_check [--tol F] EXPECTED ACTUAL";
+      exit 2
+  in
+  let expected = strip_trace (read_json expected_path)
+  and actual = strip_trace (read_json actual_path) in
+  compare_json ~tol:!tol "$" expected actual;
+  if !failures > 0 then begin
+    Printf.printf "%d mismatch(es) between %s and %s\n" !failures expected_path
+      actual_path;
+    exit 1
+  end
+  else Printf.printf "%s matches %s (tolerance %g)\n" actual_path expected_path !tol
