@@ -20,6 +20,9 @@ type t = {
   seed : int;
   size : int;  (* DS2-like node count *)
   vivaldi_rounds : int;
+  obs : Tivaware_obs.Registry.t;
+      (* the harness registry: figures may record headline gauges here
+         and they land in the `--json` summary next to the wall times *)
   ds2 : Generator.t Lazy.t;
   severity : Matrix.t Lazy.t;
   severity_counts : (int * int * int) array Lazy.t;
@@ -28,7 +31,7 @@ type t = {
   ratios : Matrix.t Lazy.t;
 }
 
-let create ?(seed = 2007) ?(size = 560) ?(vivaldi_rounds = 200) () =
+let create ?(seed = 2007) ?(size = 560) ?(vivaldi_rounds = 200) ?obs () =
   let ds2 = lazy (Datasets.generate ~size ~seed Datasets.Ds2) in
   let severity_pair =
     lazy (Severity.all_with_counts (Lazy.force ds2).Generator.matrix)
@@ -43,6 +46,10 @@ let create ?(seed = 2007) ?(size = 560) ?(vivaldi_rounds = 200) () =
     seed;
     size;
     vivaldi_rounds;
+    obs =
+      (match obs with
+      | Some reg -> reg
+      | None -> Tivaware_obs.Registry.create ());
     ds2;
     severity = lazy (fst (Lazy.force severity_pair));
     severity_counts = lazy (snd (Lazy.force severity_pair));
@@ -56,6 +63,7 @@ let create ?(seed = 2007) ?(size = 560) ?(vivaldi_rounds = 200) () =
            ~predicted:(fun i j -> System.predicted system i j));
   }
 
+let obs t = t.obs
 let ds2 t = Lazy.force t.ds2
 let matrix t = (ds2 t).Generator.matrix
 let severity t = Lazy.force t.severity

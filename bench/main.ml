@@ -40,6 +40,7 @@ let () =
   Figures_tivaware.register ();
   Figures_measure.register ();
   Figures_repair.register ();
+  Figures_backend.register ();
   Ablations.register ();
   Extensions.register ();
   if !perf then Perf.run ()
@@ -48,7 +49,8 @@ let () =
       (fun e -> Printf.printf "%-16s %s\n" e.Registry.id e.Registry.title)
       (Registry.all ())
   else begin
-    let ctx = Context.create ~seed:!seed ~size:!size () in
+    let reg = Obs.Registry.create () in
+    let ctx = Context.create ~seed:!seed ~size:!size ~obs:reg () in
     let entries =
       match !only with [] -> Registry.all () | ids -> Registry.find ids
     in
@@ -59,7 +61,6 @@ let () =
     Printf.printf
       "tivaware bench: %d experiments, DS2-like size=%d seed=%d\n"
       (List.length entries) !size !seed;
-    let reg = Obs.Registry.create () in
     let t0 = Sys.time () in
     List.iter
       (fun e ->

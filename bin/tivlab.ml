@@ -1,16 +1,20 @@
 (* tivlab — command-line laboratory for TIV-aware neighbor selection.
 
    Subcommands:
-     gen         generate a synthetic delay space and save it
-     survey      TIV analysis of a delay matrix (Section 2 workflow)
-     import      convert a full square delay matrix to the native format
-     repair      clean a measured delay matrix
-     synthesize  scale a measured matrix to any size (DS2-style)
-     vivaldi     Vivaldi embedding + neighbor-selection experiment
-     meridian    Meridian neighbor-selection experiment
-     alert       evaluate the TIV alert mechanism on a matrix
-     dht         Chord-like DHT lookups with PNS
-     multicast   build and score an overlay multicast tree *)
+     gen          generate a synthetic delay space and save it
+     survey       TIV analysis of a delay matrix (Section 2 workflow)
+     import       convert a full square delay matrix to the native format
+     repair       clean a measured delay matrix
+     synthesize   scale a measured matrix to any size (DS2-style)
+     vivaldi      Vivaldi embedding + neighbor-selection experiment
+     meridian     Meridian neighbor-selection experiment
+     alert        evaluate the TIV alert mechanism on a matrix
+     dht          Chord-like DHT lookups with PNS
+     multicast    build and score an overlay multicast tree
+     embed        Vivaldi embedding over a delay backend (dense or lazy)
+     closest      Meridian closest-node queries over a delay backend
+     tiv-scan     sampled TIV alert evaluation over a delay backend
+     metrics-diff per-series comparison of two --metrics-out summaries *)
 
 open Cmdliner
 module Rng = Tivaware_util.Rng
@@ -40,6 +44,10 @@ module Dynamics = Tivaware_measure.Dynamics
 module Budget = Tivaware_measure.Budget
 module Probe_stats = Tivaware_measure.Probe_stats
 module Obs = Tivaware_obs
+module Backend = Tivaware_backend.Delay_backend
+module Synthesizer = Tivaware_topology.Synthesizer
+module Overlay = Tivaware_meridian.Overlay
+module Query = Tivaware_meridian.Query
 
 (* ---------------------------------------------------------------- *)
 (* Shared arguments                                                  *)
@@ -235,7 +243,7 @@ let meas_term =
 
 let cli_backoff = { Fault.default_backoff with Fault.delay_jitter = 0.1 }
 
-let make_engine m ?(labels = lazy [||]) opts ~seed =
+let make_engine_config ?(labels = lazy [||]) opts ~seed =
   let policy =
     match opts.retry_policy with
     | `Fixed -> Fault.Fixed
@@ -298,7 +306,21 @@ let make_engine m ?(labels = lazy [||]) opts ~seed =
       seed;
     }
   in
+  config
+
+let make_engine m ?labels opts ~seed =
+  let config = make_engine_config ?labels opts ~seed in
   try Engine.of_matrix ~config m
+  with Invalid_argument msg ->
+    prerr_endline ("tivlab: " ^ msg);
+    exit 2
+
+let make_backend_engine backend ?labels opts ~seed =
+  let config = make_engine_config ?labels opts ~seed in
+  try
+    let engine = Backend.engine ~config backend in
+    Backend.attach_obs backend (Engine.obs engine);
+    engine
   with Invalid_argument msg ->
     prerr_endline ("tivlab: " ^ msg);
     exit 2
@@ -317,6 +339,96 @@ let write_metrics meas engine =
 
 let set_gauge engine name v =
   Obs.Gauge.set (Obs.Registry.gauge (Engine.obs engine) name) v
+
+(* ---------------------------------------------------------------- *)
+(* Delay-backend arguments (embed / closest / tiv-scan)              *)
+
+let backend_kind_arg =
+  let kinds = [ ("dense", `Dense); ("lazy", `Lazy) ] in
+  Arg.(
+    value & opt (enum kinds) `Dense
+    & info [ "backend" ] ~docv:"KIND"
+        ~doc:"Delay-plane backend: $(b,dense) materializes the full \
+              matrix (the historical model); $(b,lazy) synthesizes each \
+              queried pair on demand from a DS2 model, so memory stays \
+              independent of the pair count.")
+
+let nodes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "nodes" ] ~docv:"N"
+        ~doc:"Delay-space size for backend subcommands (0 = $(b,--size)). \
+              With $(b,--backend lazy) this can exceed dense-matrix scale \
+              (e.g. 100000).")
+
+let model_size_arg =
+  Arg.(
+    value & opt int 400
+    & info [ "model-size" ] ~docv:"N"
+        ~doc:"Size of the dense source space the lazy backend's DS2 model \
+              is measured from (with $(b,--backend lazy) and no \
+              $(b,--matrix)).")
+
+let memo_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "memo" ] ~docv:"N"
+        ~doc:"Bound the lazy backend's LRU memo of materialized pairs to N \
+              entries (0 = no memo; every query re-derives its pair, \
+              still deterministic).")
+
+(* Build the ground-truth backend for a backend subcommand.  Dense: the
+   usual load-or-generate matrix at the requested node count.  Lazy: a
+   DS2 model measured from a small dense source (--matrix or a
+   --model-size generated space), then a lazy space of --nodes over
+   it. *)
+let make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed =
+  let memo = if memo <= 0 then None else Some memo in
+  match kind with
+  | `Dense ->
+    let m, labels = load_or_generate matrix_file nodes seed in
+    (Backend.dense m, labels)
+  | `Lazy ->
+    let source, _ = load_or_generate matrix_file model_size seed in
+    let model =
+      try Synthesizer.analyze source
+      with Invalid_argument msg ->
+        prerr_endline ("tivlab: " ^ msg);
+        exit 2
+    in
+    let backend = Backend.lazy_synth ?memo ~seed ~size:nodes model in
+    let labels = lazy (Option.get (Backend.labels backend)) in
+    (backend, labels)
+
+(* Resident set size from the kernel's accounting, for the flat-RSS
+   claim backend runs print. *)
+let rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> nan
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> nan
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+          try
+            Scanf.sscanf
+              (String.sub line 6 (String.length line - 6))
+              " %d kB"
+              (fun kb -> float_of_int kb /. 1024.)
+          with Scanf.Scan_failure _ | Failure _ -> nan
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let print_backend_summary backend engine =
+  let rss = rss_mb () in
+  if not (Float.is_nan rss) then
+    Printf.printf "memory: rss=%.1f MB, materialized pairs=%d (%s backend, %d nodes)\n"
+      rss
+      (Backend.materialized backend)
+      (Backend.kind_name backend) (Backend.size backend);
+  set_gauge engine "backend.rss_mb" (if Float.is_nan rss then 0. else rss)
 
 (* ---------------------------------------------------------------- *)
 (* gen                                                               *)
@@ -789,6 +901,290 @@ let multicast_cmd =
       const run $ matrix_arg $ size_arg $ seed_arg $ max_degree $ refreshes
       $ tiv_aware $ measured $ meas_term)
 
+(* ---------------------------------------------------------------- *)
+(* embed                                                             *)
+
+let embed_cmd =
+  let run matrix_file size seed kind nodes model_size memo rounds dim sample
+      meas =
+    let nodes = if nodes > 0 then nodes else size in
+    let backend, labels =
+      make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed
+    in
+    let engine = make_backend_engine backend ~labels meas ~seed in
+    let config = { System.default_config with System.dim } in
+    let rng = Rng.create seed in
+    let system = System.create_with_engine ~config rng engine in
+    System.run system ~rounds;
+    let rel = System.sampled_relative_errors system rng ~pairs:sample in
+    Printf.printf
+      "embedding (%s backend, %d nodes, %d rounds): sampled relative error \
+       median=%.3f p90=%.3f (%d/%d pairs measured)\n"
+      (Backend.kind_name backend) nodes rounds (Stats.median rel)
+      (Stats.percentile rel 90.) (Array.length rel) sample;
+    if meas.charge_time then
+      Printf.printf "virtual time: %.1f s (measurement-aware)\n"
+        (Engine.now engine);
+    print_probe_summary engine;
+    print_backend_summary backend engine;
+    set_gauge engine "embed.rel_error_median" (Stats.median rel);
+    set_gauge engine "embed.rel_error_p90" (Stats.percentile rel 90.);
+    set_gauge engine "embed.nodes" (float_of_int nodes);
+    write_metrics meas engine
+  in
+  let rounds =
+    Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"N" ~doc:"Embedding rounds.")
+  in
+  let dim =
+    Arg.(value & opt int 5 & info [ "dim" ] ~docv:"D" ~doc:"Embedding dimension.")
+  in
+  let sample =
+    Arg.(
+      value & opt int 2000
+      & info [ "sample" ] ~docv:"N"
+          ~doc:"Pairs sampled for the error estimate (full-matrix error \
+                is off the table at lazy scale).")
+  in
+  Cmd.v
+    (Cmd.info "embed"
+       ~doc:"Vivaldi embedding over a delay backend ($(b,--backend lazy) \
+             scales to 100k+ nodes with flat memory).")
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ backend_kind_arg
+      $ nodes_arg $ model_size_arg $ memo_arg $ rounds $ dim $ sample
+      $ meas_term)
+
+(* ---------------------------------------------------------------- *)
+(* closest                                                           *)
+
+let closest_cmd =
+  let run matrix_file size seed kind nodes model_size memo count
+      candidate_budget beta queries meas =
+    let nodes = if nodes > 0 then nodes else size in
+    let backend, labels =
+      make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed
+    in
+    let engine = make_backend_engine backend ~labels meas ~seed in
+    let cfg = { Ring.default_config with Ring.beta } in
+    let rng = Rng.create seed in
+    let count = min count nodes in
+    let meridian_nodes = Rng.sample_indices rng ~n:nodes ~k:count in
+    let overlay =
+      Overlay.build_backend ~candidate_budget rng backend cfg ~meridian_nodes
+    in
+    let stretches = ref [] and hops = ref 0 and failures = ref 0 in
+    for _ = 1 to queries do
+      let start = meridian_nodes.(Rng.int rng count) in
+      let target = Rng.int rng nodes in
+      let outcome = Query.closest_engine overlay engine ~start ~target in
+      if Float.is_nan outcome.Query.chosen_delay then incr failures
+      else begin
+        hops := !hops + outcome.Query.hops;
+        (* Optimal among the Meridian members, from ground truth. *)
+        let best = ref infinity in
+        Array.iter
+          (fun m ->
+            if m <> target then begin
+              let d = Backend.query backend m target in
+              if (not (Float.is_nan d)) && d < !best then best := d
+            end)
+          meridian_nodes;
+        if Float.is_finite !best && !best > 1e-9 then
+          stretches := (outcome.Query.chosen_delay /. !best) :: !stretches
+      end
+    done;
+    let s = Array.of_list !stretches in
+    Printf.printf
+      "closest (%s backend, %d nodes, %d meridian, budget %d): %d queries, \
+       stretch median=%.2f p90=%.2f, hops/query=%.2f, failures=%d\n"
+      (Backend.kind_name backend) nodes count candidate_budget queries
+      (Stats.median s) (Stats.percentile s 90.)
+      (float_of_int !hops /. float_of_int (max 1 (queries - !failures)))
+      !failures;
+    print_probe_summary engine;
+    print_backend_summary backend engine;
+    set_gauge engine "closest.stretch_median" (Stats.median s);
+    set_gauge engine "closest.stretch_p90" (Stats.percentile s 90.);
+    set_gauge engine "closest.failures" (float_of_int !failures);
+    write_metrics meas engine
+  in
+  let count =
+    Arg.(
+      value & opt int 64
+      & info [ "count" ] ~docv:"N" ~doc:"Meridian node count.")
+  in
+  let candidate_budget =
+    Arg.(
+      value & opt int 32
+      & info [ "candidate-budget" ] ~docv:"N"
+          ~doc:"Peers each Meridian node samples during ring construction \
+                (bounded discovery; keeps lazy-backend ring building \
+                O(count × budget) queries).")
+  in
+  let beta =
+    Arg.(
+      value & opt float 0.5
+      & info [ "beta" ] ~docv:"B" ~doc:"Acceptance threshold.")
+  in
+  let queries =
+    Arg.(value & opt int 50 & info [ "queries" ] ~docv:"N" ~doc:"Query count.")
+  in
+  Cmd.v
+    (Cmd.info "closest"
+       ~doc:"Meridian closest-node search over a delay backend.")
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ backend_kind_arg
+      $ nodes_arg $ model_size_arg $ memo_arg $ count $ candidate_budget
+      $ beta $ queries $ meas_term)
+
+(* ---------------------------------------------------------------- *)
+(* tiv-scan                                                          *)
+
+let tiv_scan_cmd =
+  let run matrix_file size seed kind nodes model_size memo rounds pairs legs
+      worst meas =
+    let nodes = if nodes > 0 then nodes else size in
+    let backend, labels =
+      make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed
+    in
+    let engine = make_backend_engine backend ~labels meas ~seed in
+    let rng = Rng.create seed in
+    let system = System.create_with_engine rng engine in
+    System.run system ~rounds;
+    let points =
+      Eval.evaluate_sampled ~engine
+        ~predicted:(fun i j -> System.predicted system i j)
+        ~pairs ~legs ~worst_fraction:worst
+        ~thresholds:Eval.default_thresholds rng
+    in
+    Printf.printf
+      "tiv-scan (%s backend, %d nodes): %d sampled pairs, %d legs each, \
+       worst fraction %.0f%%\n"
+      (Backend.kind_name backend) nodes pairs legs (100. *. worst);
+    Printf.printf "%10s %8s %10s %8s\n" "threshold" "alerts" "accuracy"
+      "recall";
+    List.iter
+      (fun p ->
+        Printf.printf "%10.1f %8d %10.3f %8.3f\n" p.Eval.threshold
+          p.Eval.alerts p.Eval.accuracy p.Eval.recall)
+      points;
+    print_probe_summary engine;
+    print_backend_summary backend engine;
+    write_metrics meas engine
+  in
+  let rounds =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"N" ~doc:"Vivaldi warm-up rounds for the predictor.")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 2000
+      & info [ "pairs" ] ~docv:"N" ~doc:"Pairs sampled for the sweep.")
+  in
+  let legs =
+    Arg.(
+      value & opt int 64
+      & info [ "legs" ] ~docv:"N"
+          ~doc:"Intermediate nodes sampled per pair for the severity \
+                estimate.")
+  in
+  let worst =
+    Arg.(
+      value & opt float 0.1
+      & info [ "worst" ] ~docv:"F"
+          ~doc:"Worst-severity fraction of the sample used as ground truth.")
+  in
+  Cmd.v
+    (Cmd.info "tiv-scan"
+       ~doc:"Sampled TIV alert evaluation over a delay backend.")
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ backend_kind_arg
+      $ nodes_arg $ model_size_arg $ memo_arg $ rounds $ pairs $ legs $ worst
+      $ meas_term)
+
+(* ---------------------------------------------------------------- *)
+(* metrics-diff                                                      *)
+
+let metrics_diff_cmd =
+  let run tol all a_path b_path =
+    let read path =
+      match open_in_bin path with
+      | exception Sys_error msg ->
+        prerr_endline ("tivlab: " ^ msg);
+        exit 2
+      | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (try Obs.Json.of_string s
+         with Failure msg ->
+           prerr_endline (Printf.sprintf "tivlab: %s: %s" path msg);
+           exit 2)
+    in
+    let a = Obs.Diff.strip_trace (read a_path)
+    and b = Obs.Diff.strip_trace (read b_path) in
+    let deltas = Obs.Diff.deltas a b in
+    let changed = ref 0 in
+    Printf.printf "%-56s %12s %12s %12s\n" "series" a_path b_path "delta";
+    List.iter
+      (fun d ->
+        let line before after delta =
+          Printf.printf "%-56s %12s %12s %12s\n" d.Obs.Diff.series before
+            after delta
+        in
+        match (d.Obs.Diff.before, d.Obs.Diff.after) with
+        | Some x, Some y ->
+          let close =
+            x = y
+            || Float.abs (y -. x)
+               <= tol *. Float.max (Float.abs x) (Float.abs y)
+          in
+          if not close then begin
+            incr changed;
+            line (Printf.sprintf "%g" x) (Printf.sprintf "%g" y)
+              (Printf.sprintf "%+g" (Obs.Diff.change d))
+          end
+          else if all then
+            line (Printf.sprintf "%g" x) (Printf.sprintf "%g" y) "="
+        | Some x, None ->
+          incr changed;
+          line (Printf.sprintf "%g" x) "-" "removed"
+        | None, Some y ->
+          incr changed;
+          line "-" (Printf.sprintf "%g" y) "added"
+        | None, None -> ())
+      deltas;
+    Printf.printf "%d series compared, %d differ (tolerance %g)\n"
+      (List.length deltas) !changed tol;
+    if !changed > 0 then exit 1
+  in
+  let tol =
+    Arg.(
+      value & opt float Obs.Diff.default_tolerance
+      & info [ "tol" ] ~docv:"F"
+          ~doc:"Relative tolerance below which two numbers count as equal.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Also print unchanged series (marked $(b,=)).")
+  in
+  let a_path =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"A.json" ~doc:"First --metrics-out summary.")
+  in
+  let b_path =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"B.json" ~doc:"Second --metrics-out summary.")
+  in
+  Cmd.v
+    (Cmd.info "metrics-diff"
+       ~doc:"Compare two --metrics-out summaries series by series; exits 1 \
+             when they differ beyond the tolerance.")
+    Term.(const run $ tol $ all $ a_path $ b_path)
+
 let () =
   let info =
     Cmd.info "tivlab" ~version:"1.0.0"
@@ -799,5 +1195,6 @@ let () =
        (Cmd.group info
           [
             gen_cmd; survey_cmd; vivaldi_cmd; meridian_cmd; alert_cmd; import_cmd;
-            repair_cmd; synthesize_cmd; dht_cmd; multicast_cmd;
+            repair_cmd; synthesize_cmd; dht_cmd; multicast_cmd; embed_cmd;
+            closest_cmd; tiv_scan_cmd; metrics_diff_cmd;
           ]))

@@ -14,13 +14,21 @@
 
 type t
 
+type ext = ..
+(** Open extension point for richer delay sources.  A library layered
+    above the measurement plane (e.g. [Tivaware_backend]) adds its own
+    constructor, attaches it via {!of_fn}'s [?ext], and recovers the
+    full source from an engine's oracle with {!ext} — without this
+    module depending on it. *)
+
 val of_matrix : Tivaware_delay_space.Matrix.t -> t
 (** Oracle over a delay matrix.  {!matrix} recovers it. *)
 
-val of_fn : size:int -> (int -> int -> float) -> t
+val of_fn : ?ext:ext -> size:int -> (int -> int -> float) -> t
 (** [of_fn ~size f] wraps an arbitrary symmetric delay function.  [f]
     must return [0.] on the diagonal and [nan] for unmeasurable
-    pairs. *)
+    pairs.  [?ext] optionally tags the oracle with the richer source it
+    was derived from (see {!type:ext}). *)
 
 val size : t -> int
 (** Number of nodes the oracle answers for. *)
@@ -30,6 +38,9 @@ val query : t -> int -> int -> float
 
 val matrix : t -> Tivaware_delay_space.Matrix.t option
 (** The backing matrix, when the oracle is matrix-backed. *)
+
+val ext : t -> ext option
+(** The extension tag attached at construction, if any. *)
 
 val matrix_exn : t -> Tivaware_delay_space.Matrix.t
 (** Raises [Invalid_argument] on a function-backed oracle. *)

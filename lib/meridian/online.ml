@@ -146,13 +146,14 @@ let closest_engine ?(termination = Query.Threshold) sim overlay engine ~client
     ~start ~target =
   if not (Overlay.is_meridian overlay start) then
     invalid_arg "Online.closest_engine: start is not a Meridian node";
-  let matrix = Engine.matrix_exn engine in
-  if Float.is_nan (Matrix.get matrix client start) then
+  let backend = Tivaware_backend.Delay_backend.of_engine engine in
+  if Float.is_nan (Tivaware_backend.Delay_backend.query backend client start)
+  then
     invalid_arg "Online.closest_engine: no measurement between client and start";
   (* One-way transit on the ground-truth path; missing edges transit
      instantaneously, as in {!closest}. *)
   let transit a b =
-    let r = Matrix.get matrix a b in
+    let r = Tivaware_backend.Delay_backend.query backend a b in
     if Float.is_nan r then 0. else r
   in
   let beta = (Overlay.config overlay).Ring.beta in

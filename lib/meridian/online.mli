@@ -57,7 +57,7 @@ val closest_engine :
   outcome
 (** Measurement-cost-aware replay: message transit (client hand-off,
     fan-out request/report halves, forwarding, the answer's return)
-    still rides the engine's ground-truth matrix, but every probe is
+    still rides the engine's ground-truth delay backend, but every probe is
     issued through the engine at the moment the protocol reaches it and
     its cost — the delivered RTT, or the timeouts and backoff delays a
     lost probe burns — advances the simulator clock on the issuing
@@ -70,4 +70,6 @@ val closest_engine :
     are identical to {!closest} on the same (complete) matrix.  The
     engine should be created with [charge_time = false] here — the
     simulator owns time; pair with {!attach} to keep the engine clock
-    in sync.  Requires a matrix-backed engine ({!Tivaware_measure.Engine.matrix_exn}). *)
+    in sync.  Ground truth is recovered with
+    {!Tivaware_backend.Delay_backend.of_engine}, so any engine works —
+    matrix-backed or lazy. *)

@@ -30,14 +30,14 @@ type selection = First_come | Diverse
 
 (* Minimum pairwise measured delay within a prospective member set; the
    diversity score Meridian's hypervolume rule approximates. *)
-let min_pairwise_delay matrix ids =
+let min_pairwise_delay delay ids =
   let rec scan acc = function
     | [] -> acc
     | id :: rest ->
       let acc =
         List.fold_left
           (fun acc other ->
-            let d = Matrix.get matrix id other in
+            let d = delay id other in
             if Float.is_nan d then acc else Float.min acc d)
           acc rest
       in
@@ -47,15 +47,15 @@ let min_pairwise_delay matrix ids =
 
 (* Try to improve ring diversity by swapping one primary member for the
    candidate; returns the new member list or None when no swap helps. *)
-let diversity_swap matrix members candidate =
+let diversity_swap delay members candidate =
   let ids = List.map (fun m -> m.id) members in
-  let current = min_pairwise_delay matrix ids in
+  let current = min_pairwise_delay delay ids in
   let best = ref None in
   List.iteri
     (fun drop _ ->
       let remaining = List.filteri (fun k _ -> k <> drop) members in
       let score =
-        min_pairwise_delay matrix (candidate.id :: List.map (fun m -> m.id) remaining)
+        min_pairwise_delay delay (candidate.id :: List.map (fun m -> m.id) remaining)
       in
       match !best with
       | Some (_, bs) when bs >= score -> ()
@@ -65,8 +65,8 @@ let diversity_swap matrix members candidate =
   | Some (swapped, score) when score > current -> Some swapped
   | _ -> None
 
-let build ?(edge_filter = fun _ _ -> true) ?placement
-    ?(selection = First_come) ?candidates rng matrix cfg ~meridian_nodes =
+let build_delay ?(edge_filter = fun _ _ -> true) ?placement
+    ?(selection = First_come) ?candidates rng ~delay cfg ~meridian_nodes =
   let placement =
     match placement with
     | Some f -> f
@@ -99,8 +99,8 @@ let build ?(edge_filter = fun _ _ -> true) ?placement
       Array.iter
         (fun peer ->
           if peer <> node && edge_filter node peer then begin
-            let delay = Matrix.get matrix node peer in
-            if not (Float.is_nan delay) then
+            let d = delay node peer in
+            if not (Float.is_nan d) then
               List.iteri
                 (fun pos (ring_idx, represented) ->
                   let r = ring_idx - 1 in
@@ -121,7 +121,7 @@ let build ?(edge_filter = fun _ _ -> true) ?placement
                       (* Ring full: replace a member if that increases
                          the ring's pairwise-delay diversity. *)
                       match
-                        diversity_swap matrix rings.(s).(r)
+                        diversity_swap delay rings.(s).(r)
                           { id = peer; delay = represented }
                       with
                       | Some swapped -> rings.(s).(r) <- swapped
@@ -132,7 +132,7 @@ let build ?(edge_filter = fun _ _ -> true) ?placement
                       secondary.(s).(r) <- secondary.(s).(r) + 1
                     end
                   end)
-                (placement node peer delay)
+                (placement node peer d)
           end)
         candidates)
     meridian_nodes;
@@ -144,6 +144,37 @@ let build ?(edge_filter = fun _ _ -> true) ?placement
     slot_of;
     pending_reentry = Hashtbl.create 16;
   }
+
+let build ?edge_filter ?placement ?selection ?candidates rng matrix cfg
+    ~meridian_nodes =
+  build_delay ?edge_filter ?placement ?selection ?candidates rng
+    ~delay:(Matrix.get matrix) cfg ~meridian_nodes
+
+let build_backend ?edge_filter ?placement ?selection ?candidate_budget rng
+    backend cfg ~meridian_nodes =
+  let module Backend = Tivaware_backend.Delay_backend in
+  let count = Array.length meridian_nodes in
+  let candidates =
+    match candidate_budget with
+    | Some b when b < 1 ->
+      invalid_arg "Overlay.build_backend: candidate_budget must be >= 1"
+    | Some b when b < count - 1 ->
+      (* Bounded discovery: each node samples [b] distinct peers instead
+         of scanning every participant — O(b) backend queries per node,
+         so a lazy space materializes only the sampled pairs. *)
+      let slot_of = Hashtbl.create count in
+      Array.iteri (fun s id -> Hashtbl.replace slot_of id s) meridian_nodes;
+      Some
+        (fun node ->
+          let self = Hashtbl.find slot_of node in
+          let picks = Rng.sample_indices rng ~n:(count - 1) ~k:b in
+          Array.map
+            (fun p -> meridian_nodes.(if p >= self then p + 1 else p))
+            picks)
+    | _ -> None
+  in
+  build_delay ?edge_filter ?placement ?selection ?candidates rng
+    ~delay:(Backend.query backend) cfg ~meridian_nodes
 
 let ring_members t node i =
   assert (i >= 1 && i <= t.config.Ring.rings);

@@ -58,6 +58,38 @@ val build :
     restricts which peers [node] may file into its rings — e.g. the
     members it discovered through {!Gossip}. *)
 
+val build_delay :
+  ?edge_filter:(int -> int -> bool) ->
+  ?placement:(int -> int -> float -> (int * float) list) ->
+  ?selection:selection ->
+  ?candidates:(int -> int array) ->
+  Tivaware_util.Rng.t ->
+  delay:(int -> int -> float) ->
+  Ring.config ->
+  meridian_nodes:int array ->
+  t
+(** The core of {!build} over an arbitrary delay function ([nan] =
+    unmeasurable).  [build rng matrix ...] is exactly
+    [build_delay rng ~delay:(Matrix.get matrix) ...]. *)
+
+val build_backend :
+  ?edge_filter:(int -> int -> bool) ->
+  ?placement:(int -> int -> float -> (int * float) list) ->
+  ?selection:selection ->
+  ?candidate_budget:int ->
+  Tivaware_util.Rng.t ->
+  Tivaware_backend.Delay_backend.t ->
+  Ring.config ->
+  meridian_nodes:int array ->
+  t
+(** {!build_delay} over a delay backend.  [candidate_budget] bounds
+    each node's discovery to that many uniformly sampled peers (instead
+    of a shuffle of {e all} participants), so ring construction over an
+    N-node lazy space costs O(meridian · budget) queries rather than
+    O(meridian²) — the sampled replacement for the full row scan.  A
+    budget of at least the participant count keeps the historical
+    shuffle.  Raises [Invalid_argument] when the budget is < 1. *)
+
 val config : t -> Ring.config
 val meridian_nodes : t -> int array
 val is_meridian : t -> int -> bool

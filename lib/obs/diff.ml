@@ -1,0 +1,117 @@
+let default_tolerance = 0.02
+
+let close ~tol a b =
+  a = b || Float.abs (a -. b) <= tol *. Float.max (Float.abs a) (Float.abs b)
+
+let strip_trace = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter (fun (k, _) -> k <> "trace" && k <> "trace_dropped") fields)
+  | v -> v
+
+let structural ?(tol = default_tolerance) expected actual =
+  let failures = ref [] in
+  let fail path fmt =
+    Printf.ksprintf (fun s -> failures := (path, s) :: !failures) fmt
+  in
+  let rec compare_json path expected actual =
+    match (expected, actual) with
+    | Json.Null, Json.Null -> ()
+    | Json.Bool a, Json.Bool b ->
+      if a <> b then fail path "expected %b, got %b" a b
+    | (Json.Int _ | Json.Float _), (Json.Int _ | Json.Float _) ->
+      let a = Option.get (Json.to_float expected)
+      and b = Option.get (Json.to_float actual) in
+      if not (close ~tol a b) then
+        fail path "expected %g, got %g (tolerance %g)" a b tol
+    | Json.String a, Json.String b ->
+      if a <> b then fail path "expected %S, got %S" a b
+    | Json.List a, Json.List b ->
+      if List.length a <> List.length b then
+        fail path "expected %d elements, got %d" (List.length a)
+          (List.length b)
+      else
+        List.iteri
+          (fun i (e, a) -> compare_json (Printf.sprintf "%s[%d]" path i) e a)
+          (List.combine a b)
+    | Json.Obj a, Json.Obj b ->
+      let keys l = List.sort compare (List.map fst l) in
+      List.iter
+        (fun k -> if not (List.mem_assoc k b) then fail path "missing key %S" k)
+        (keys a);
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k a) then fail path "unexpected key %S" k)
+        (keys b);
+      List.iter
+        (fun (k, e) ->
+          match List.assoc_opt k b with
+          | Some v -> compare_json (path ^ "." ^ k) e v
+          | None -> ())
+        a
+    | _ -> fail path "type mismatch"
+  in
+  compare_json "$" expected actual;
+  List.rev !failures
+
+type delta = {
+  series : string;
+  before : float option;
+  after : float option;
+}
+
+let change d =
+  match (d.before, d.after) with
+  | Some a, Some b -> b -. a
+  | _ -> nan
+
+(* Flatten a summary into (series, value) rows: every counter and
+   gauge under its series key, every histogram's scalar fields as
+   sub-series.  Null scalars (empty-histogram mean/p50/p99) are
+   skipped; buckets are not flattened (the scalars carry the
+   comparison). *)
+let flatten summary =
+  let rows = ref [] in
+  let add series v =
+    match Json.to_float v with
+    | Some f -> rows := (series, f) :: !rows
+    | None -> ()
+  in
+  let section name flat =
+    match Json.member name summary with
+    | Some (Json.Obj fields) ->
+      List.iter
+        (fun (key, v) ->
+          if flat then add key v
+          else
+            match v with
+            | Json.Obj sub ->
+              List.iter
+                (fun (field, fv) ->
+                  if field <> "buckets" then add (key ^ "." ^ field) fv)
+                sub
+            | _ -> ())
+        fields
+    | _ -> ()
+  in
+  (match Json.member "clock" summary with Some v -> add "clock" v | None -> ());
+  section "counters" true;
+  section "gauges" true;
+  section "histograms" false;
+  List.rev !rows
+
+let deltas a b =
+  let fa = flatten a and fb = flatten b in
+  let keys = ref [] in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (k, _) ->
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.replace seen k ();
+        keys := k :: !keys
+      end)
+    (fa @ fb);
+  List.rev_map
+    (fun series ->
+      { series; before = List.assoc_opt series fa; after = List.assoc_opt series fb })
+    !keys

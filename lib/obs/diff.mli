@@ -1,0 +1,43 @@
+(** Structural comparison of metric summaries ({!Summary} JSON).
+
+    Two jobs share this module: the CI metrics gate (does a fresh
+    summary still match its committed fixture, within tolerance?) and
+    the [tivlab metrics-diff] subcommand (what changed between two
+    runs, series by series?). *)
+
+val default_tolerance : float
+(** Relative tolerance for numeric equality, 0.02 — seeded runs are
+    bit-deterministic in probe counts, but derived means can drift
+    across libm versions. *)
+
+val strip_trace : Json.t -> Json.t
+(** Drops the [trace] and [trace_dropped] fields of a summary object —
+    event wording is documentation, not contract. *)
+
+val structural : ?tol:float -> Json.t -> Json.t -> (string * string) list
+(** [structural expected actual] compares two JSON documents key by
+    key: both must carry the same keys (one appearing or disappearing
+    fails either way), strings and booleans must match exactly, and
+    numbers must agree within the relative tolerance [tol] (default
+    {!default_tolerance}).  Returns the mismatches as
+    [(json-path, message)] pairs, in document order; empty = match. *)
+
+(** {2 Series deltas} *)
+
+type delta = {
+  series : string;  (** flattened series key, e.g.
+                        ["measure.rtt_ms{plane=vivaldi}.p99"] *)
+  before : float option;  (** [None] = series absent in the first file *)
+  after : float option;
+}
+
+val change : delta -> float
+(** [after - before]; [nan] when the series is missing on either
+    side. *)
+
+val deltas : Json.t -> Json.t -> delta list
+(** [deltas a b] flattens both summaries — counters and gauges under
+    their series keys, each histogram's scalar fields ([count], [sum],
+    [mean], [p50], [p99], [dropped]) as [key.field] sub-series, plus
+    [clock] — and pairs them up.  Order: series as they appear in [a],
+    then series only [b] carries. *)

@@ -52,6 +52,40 @@ let observe t v =
 
 let count t = t.count
 let dropped t = t.dropped
+
+(* Rank-based estimate with linear interpolation inside the bucket:
+   the rank q * count is located in the cumulative counts, and the
+   bucket's mass is assumed uniformly spread over (lower, upper].
+   The first bucket's lower bound is min(0, first edge) — edges are
+   positive in practice and observations non-negative; the overflow
+   bucket has no upper bound, so it reports the last finite edge (a
+   lower bound on the true quantile). *)
+let quantile t q =
+  if not (Float.is_finite q) || q < 0. || q > 1. then
+    invalid_arg "Histogram.quantile: q must be in [0, 1]";
+  if t.count = 0 then nan
+  else begin
+    let n = Array.length t.edges in
+    let rank = q *. float_of_int t.count in
+    let rec locate b cum =
+      if b > n then t.edges.(n - 1) (* unreachable: cum reaches count *)
+      else begin
+        let cum' = cum + t.counts.(b) in
+        if float_of_int cum' >= rank && t.counts.(b) > 0 then begin
+          if b = n then (* overflow: no upper edge to interpolate to *)
+            t.edges.(n - 1)
+          else begin
+            let lo = if b = 0 then Float.min 0. t.edges.(0) else t.edges.(b - 1) in
+            let hi = t.edges.(b) in
+            let inside = (rank -. float_of_int cum) /. float_of_int t.counts.(b) in
+            lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. inside))
+          end
+        end
+        else locate (b + 1) cum'
+      end
+    in
+    locate 0 0
+  end
 let sum t = t.sum
 let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
 let edges t = Array.copy t.edges

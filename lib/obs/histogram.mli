@@ -24,6 +24,15 @@ val sum : t -> float
 val mean : t -> float
 (** [nan] when empty. *)
 
+val quantile : t -> float -> float
+(** [quantile t q] estimates the [q]-quantile ([q] in [0, 1],
+    [Invalid_argument] otherwise) from the bucket counts: the rank
+    [q * count] is located in the cumulative distribution and linearly
+    interpolated within its bucket (mass assumed uniform over the
+    bucket's span; the first bucket spans from [min 0 (first edge)]).
+    A rank landing in the overflow bucket reports the last finite edge
+    — a lower bound.  [nan] when the histogram is empty. *)
+
 val edges : t -> float array
 (** A copy of the upper edges. *)
 

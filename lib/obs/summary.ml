@@ -18,6 +18,12 @@ let histogram_json h =
       ( "mean",
         if Histogram.count h = 0 then Json.Null
         else Json.number (Histogram.mean h) );
+      ( "p50",
+        if Histogram.count h = 0 then Json.Null
+        else Json.number (Histogram.quantile h 0.5) );
+      ( "p99",
+        if Histogram.count h = 0 then Json.Null
+        else Json.number (Histogram.quantile h 0.99) );
       ("dropped", Json.Int (Histogram.dropped h));
       ("buckets", Json.List buckets);
     ]

@@ -15,13 +15,18 @@
       "gauges":     { "alert.precision": 0.84, ... },
       "histograms": { "measure.rtt_ms":
                         { "count": 4800, "sum": 211000.0, "mean": 43.9,
+                          "p50": 38.2, "p99": 187.0,
                           "dropped": 0,
                           "buckets": [ {"le": 10.0, "count": 12}, ...,
                                        {"le": "+inf", "count": 3} ] } },
       "trace":      [ {"t": 50.0, "label": "repair.vivaldi",
                        "event": "evicted=3 resampled=3"}, ... ],
       "trace_dropped": 0 }
-    v} *)
+    v}
+
+    [p50]/[p99] are {!Histogram.quantile} estimates (bucket-linear
+    interpolation); [mean], [p50] and [p99] are [null] for an empty
+    histogram. *)
 
 val to_json : ?clock:float -> Registry.t -> Json.t
 (** [clock] stamps the run's logical end time (the engine clock);

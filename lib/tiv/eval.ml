@@ -75,3 +75,98 @@ let evaluate_engine ~engine ~predicted ~severity ~worst_fraction ~thresholds =
   let points = evaluate ~ratios ~severity ~worst_fraction ~thresholds in
   record_obs engine points;
   points
+
+(* Sampled alert evaluation for spaces too large to enumerate: ground
+   truth is estimated on a uniform pair sample, and each sampled pair's
+   severity on a uniform intermediate sample.  Ranking by the estimate
+   replaces ranking by the exact severity; the alert rule itself is
+   unchanged (measured ratio at or below the threshold). *)
+let evaluate_sampled ~engine ~predicted ~pairs ~legs ~worst_fraction
+    ~thresholds rng =
+  let module Backend = Tivaware_backend.Delay_backend in
+  let module Rng = Tivaware_util.Rng in
+  let module Engine = Tivaware_measure.Engine in
+  if pairs < 1 then invalid_arg "Eval.evaluate_sampled: pairs must be >= 1";
+  if legs < 1 then invalid_arg "Eval.evaluate_sampled: legs must be >= 1";
+  let backend = Backend.of_engine engine in
+  let n = Backend.size backend in
+  if n < 3 then invalid_arg "Eval.evaluate_sampled: need at least 3 nodes";
+  let seen = Hashtbl.create pairs in
+  let samples = ref [] and sampled = ref 0 in
+  (* Cap the draw loop so a space of mostly-missing edges terminates. *)
+  let attempts = ref 0 in
+  let max_attempts = 20 * pairs in
+  while !sampled < pairs && !attempts < max_attempts do
+    incr attempts;
+    let i = Rng.int rng n in
+    let j =
+      let p = Rng.int rng (n - 1) in
+      if p >= i then p + 1 else p
+    in
+    let key = if i < j then (i, j) else (j, i) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      let dij = Backend.query backend i j in
+      if not (Float.is_nan dij) then begin
+        (* Severity estimate: mean over sampled intermediates of the
+           violating detour ratio — the same statistic the dense sweep
+           normalizes by n, so rankings agree in expectation. *)
+        let sum = ref 0. in
+        for _ = 1 to legs do
+          let b = Rng.int rng n in
+          if b <> i && b <> j then begin
+            let leg =
+              Backend.query backend i b +. Backend.query backend j b
+            in
+            if dij > leg then sum := !sum +. (dij /. leg)
+          end
+        done;
+        let severity = !sum /. float_of_int legs in
+        let ratio =
+          let d = Engine.rtt ~label:"alert" engine i j in
+          if Float.is_nan d || d < 1e-9 then nan else predicted i j /. d
+        in
+        samples := (severity, ratio) :: !samples;
+        incr sampled
+      end
+    end
+  done;
+  let samples = Array.of_list (List.rev !samples) in
+  let count = Array.length samples in
+  let order = Array.init count Fun.id in
+  Array.sort
+    (fun a b -> compare (fst samples.(b)) (fst samples.(a)))
+    order;
+  let worst_count =
+    min count
+      (int_of_float (Float.round (worst_fraction *. float_of_int count)))
+  in
+  let worst = Array.make count false in
+  for r = 0 to worst_count - 1 do
+    worst.(order.(r)) <- true
+  done;
+  let points =
+    List.map
+      (fun threshold ->
+        let alerts = ref 0 and hits = ref 0 in
+        Array.iteri
+          (fun k (_, ratio) ->
+            if (not (Float.is_nan ratio)) && ratio <= threshold then begin
+              incr alerts;
+              if worst.(k) then incr hits
+            end)
+          samples;
+        {
+          threshold;
+          alerts = !alerts;
+          accuracy =
+            (if !alerts = 0 then 1.
+             else float_of_int !hits /. float_of_int !alerts);
+          recall =
+            (if worst_count = 0 then 1.
+             else float_of_int !hits /. float_of_int worst_count);
+        })
+      thresholds
+  in
+  record_obs engine points;
+  points

@@ -36,6 +36,29 @@ val evaluate_engine :
     [alert.{precision,recall,f1,alerts}{threshold=...}] gauges plus
     headline unlabelled gauges from the best-F1 point. *)
 
+val evaluate_sampled :
+  engine:Tivaware_measure.Engine.t ->
+  predicted:(int -> int -> float) ->
+  pairs:int ->
+  legs:int ->
+  worst_fraction:float ->
+  thresholds:float list ->
+  Tivaware_util.Rng.t ->
+  point list
+(** Sampled alert evaluation for delay spaces too large to enumerate
+    (ground truth read through the engine's delay backend, so lazy
+    100k-node spaces work).  [pairs] off-diagonal pairs are sampled
+    uniformly without replacement (pairs with no measurement are
+    skipped); each one's TIV severity is estimated over [legs] sampled
+    intermediates — the mean violating detour ratio, the same
+    statistic the dense sweep computes exactly — and the worst
+    [worst_fraction] of the {e sample} by that estimate is the ground
+    truth the alert rule is scored against.  Measured ratios probe
+    through the engine under the ["alert"] label, exactly like
+    {!evaluate_engine}, and the same [alert.*] gauges are recorded.
+    Raises [Invalid_argument] on a non-positive [pairs]/[legs] or
+    fewer than 3 nodes. *)
+
 val f1 : point -> float
 (** Harmonic mean of accuracy (precision) and recall; 0 when both
     vanish. *)

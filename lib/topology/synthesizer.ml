@@ -59,10 +59,9 @@ let analyze ?(clusters = 3) ?(radius_ms = 50.) matrix =
        else float_of_int (pairs - Matrix.edge_count matrix) /. float_of_int pairs);
   }
 
-let synthesize_with_clusters ?(jitter = 0.05) rng model ~size =
-  assert (size >= 2 && jitter >= 0. && jitter < 1.);
+let assign_buckets rng model ~size =
+  assert (size >= 2);
   let nbuckets = Array.length model.fractions in
-  let noise_bucket = nbuckets - 1 in
   (* Assign nodes to buckets by the source proportions (largest-remainder
      rounding keeps totals exact). *)
   let counts =
@@ -90,10 +89,16 @@ let synthesize_with_clusters ?(jitter = 0.05) rng model ~size =
       done)
     counts;
   Rng.shuffle rng bucket_of;
-  let labels =
-    Array.map (fun b -> if b = noise_bucket then -1 else b) bucket_of
-  in
-  let draw a b =
+  bucket_of
+
+let bucket_labels model bucket_of =
+  let noise_bucket = Array.length model.fractions - 1 in
+  Array.map (fun b -> if b = noise_bucket then -1 else b) bucket_of
+
+let draw_delay ?(jitter = 0.05) rng model ~a ~b =
+  assert (jitter >= 0. && jitter < 1.);
+  if Rng.bernoulli rng model.missing_fraction then nan
+  else begin
     let a, b = if a <= b then (a, b) else (b, a) in
     let samples = model.buckets.(a).(b) in
     if Array.length samples = 0 then nan
@@ -101,11 +106,15 @@ let synthesize_with_clusters ?(jitter = 0.05) rng model ~size =
       let v = Rng.choice rng samples in
       v *. Rng.uniform rng (1. -. jitter) (1. +. jitter)
     end
-  in
+  end
+
+let synthesize_with_clusters ?(jitter = 0.05) rng model ~size =
+  assert (jitter >= 0. && jitter < 1.);
+  let bucket_of = assign_buckets rng model ~size in
+  let labels = bucket_labels model bucket_of in
   let matrix =
     Matrix.init size (fun i j ->
-        if Rng.bernoulli rng model.missing_fraction then nan
-        else draw bucket_of.(i) bucket_of.(j))
+        draw_delay ~jitter rng model ~a:bucket_of.(i) ~b:bucket_of.(j))
   in
   (matrix, labels)
 

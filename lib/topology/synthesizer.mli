@@ -35,6 +35,29 @@ val cluster_fractions : model -> float array
 
 val missing_fraction : model -> float
 
+val assign_buckets : Tivaware_util.Rng.t -> model -> size:int -> int array
+(** [assign_buckets rng model ~size] deals [size] nodes into the model's
+    cluster buckets by largest-remainder rounding of the source
+    proportions, then shuffles the assignment with [rng].  The returned
+    array maps node id to bucket index (the last bucket is the noise
+    pseudo-cluster).  This is the first — and only size-dependent — RNG
+    consumption of a synthesis run, so a lazy backend that fixes the
+    assignment up front stays aligned with {!synthesize_with_clusters}. *)
+
+val bucket_labels : model -> int array -> int array
+(** Maps a bucket assignment to user-facing cluster labels: the noise
+    pseudo-cluster becomes [-1], every other bucket keeps its index. *)
+
+val draw_delay :
+  ?jitter:float -> Tivaware_util.Rng.t -> model -> a:int -> b:int -> float
+(** [draw_delay rng model ~a ~b] draws one delay between a node in
+    bucket [a] and one in bucket [b]: first a Bernoulli missing-entry
+    trial at the model's missing fraction, then an empirical bucket
+    sample scaled by a uniform factor in [1 ± jitter] (default 0.05).
+    Returns [nan] for missing entries and empty buckets (the latter
+    consumes no further RNG).  {!synthesize_with_clusters} is exactly
+    one such draw per upper-triangular pair in row-major order. *)
+
 val synthesize :
   ?jitter:float ->
   Tivaware_util.Rng.t ->

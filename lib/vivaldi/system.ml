@@ -3,6 +3,7 @@ module Vec = Tivaware_util.Vec
 module Welford = Tivaware_util.Welford
 module Matrix = Tivaware_delay_space.Matrix
 module Engine = Tivaware_measure.Engine
+module Backend = Tivaware_backend.Delay_backend
 
 type timestep =
   | Constant of float
@@ -27,7 +28,7 @@ let min_height = 0.1
 
 type t = {
   config : config;
-  matrix : Matrix.t;  (* ground truth, for evaluation only *)
+  backend : Backend.t;  (* ground truth, for evaluation only *)
   engine : Engine.t;  (* every observation probes through here *)
   rng : Rng.t;
   coords : Vec.t array;
@@ -44,8 +45,8 @@ let random_neighbors rng n self count =
   Array.map (fun p -> if p >= self then p + 1 else p) picks
 
 let create_with_engine ?(config = default_config) rng engine =
-  let matrix = Engine.matrix_exn engine in
-  let n = Matrix.size matrix in
+  let backend = Backend.of_engine engine in
+  let n = Backend.size backend in
   assert (n >= 2);
   let rng = Rng.split rng in
   (* With heights the coordinate array carries one extra slot (the
@@ -58,7 +59,7 @@ let create_with_engine ?(config = default_config) rng engine =
   in
   {
     config;
-    matrix;
+    backend;
     engine;
     rng;
     (* Small random initial coordinates break symmetry without starting
@@ -76,7 +77,13 @@ let create ?config rng matrix =
 
 let config t = t.config
 let size t = Array.length t.coords
-let matrix t = t.matrix
+let backend t = t.backend
+
+let matrix t =
+  match Backend.matrix t.backend with
+  | Some m -> m
+  | None -> invalid_arg "System.matrix: not a dense (matrix-backed) system"
+
 let engine t = t.engine
 let rng t = t.rng
 let coord t i = Vec.copy t.coords.(i)
@@ -99,7 +106,7 @@ let distance t xi xj =
 let predicted t i j = distance t t.coords.(i) t.coords.(j)
 
 let prediction_ratio t i j =
-  let d = Matrix.get t.matrix i j in
+  let d = Backend.query t.backend i j in
   if Float.is_nan d || d < 1e-9 then nan else predicted t i j /. d
 
 let neighbors t i = Array.copy t.neighbor_sets.(i)
@@ -208,12 +215,35 @@ let reset_movement t = t.movement <- Welford.create ()
 
 let absolute_errors t =
   let out = ref [] in
-  Matrix.iter_edges t.matrix (fun i j d ->
+  Matrix.iter_edges (matrix t) (fun i j d ->
       out := abs_float (predicted t i j -. d) :: !out);
   Array.of_list !out
 
 let relative_errors t =
   let out = ref [] in
-  Matrix.iter_edges t.matrix (fun i j d ->
+  Matrix.iter_edges (matrix t) (fun i j d ->
       if d > 1e-9 then out := (abs_float (predicted t i j -. d) /. d) :: !out);
   Array.of_list !out
+
+(* Sampled counterparts for backends where iterating every pair is off
+   the table (a 100k-node lazy space has 5e9 pairs). *)
+let sampled_errors t rng ~pairs =
+  let n = size t in
+  let abs_out = ref [] and rel_out = ref [] in
+  for _ = 1 to pairs do
+    let i = Rng.int rng n in
+    let j =
+      let p = Rng.int rng (n - 1) in
+      if p >= i then p + 1 else p
+    in
+    let d = Backend.query t.backend i j in
+    if not (Float.is_nan d) then begin
+      let err = abs_float (predicted t i j -. d) in
+      abs_out := err :: !abs_out;
+      if d > 1e-9 then rel_out := (err /. d) :: !rel_out
+    end
+  done;
+  (Array.of_list !abs_out, Array.of_list !rel_out)
+
+let sampled_absolute_errors t rng ~pairs = fst (sampled_errors t rng ~pairs)
+let sampled_relative_errors t rng ~pairs = snd (sampled_errors t rng ~pairs)

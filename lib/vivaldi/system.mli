@@ -41,13 +41,22 @@ val create_with_engine :
   ?config:config -> Tivaware_util.Rng.t -> Tivaware_measure.Engine.t -> t
 (** As {!create}, but every observation probes through the given
     engine: loss and budget denial skip the update, jitter perturbs
-    the sample.  The engine must be matrix-backed
-    ([Invalid_argument] otherwise); the matrix stays the ground truth
-    for {!absolute_errors} and friends. *)
+    the sample.  Ground truth for {!prediction_ratio} and the error
+    statistics is the engine's delay backend
+    ({!Tivaware_backend.Delay_backend.of_engine}), so any engine works
+    — a matrix-backed one behaves exactly as before, and a lazy
+    backend scales the system past dense-matrix sizes. *)
 
 val config : t -> config
 val size : t -> int
+
 val matrix : t -> Tivaware_delay_space.Matrix.t
+(** The dense ground-truth matrix.  Raises [Invalid_argument] when the
+    system runs over a non-dense backend — use {!backend} (and the
+    sampled error statistics) there. *)
+
+val backend : t -> Tivaware_backend.Delay_backend.t
+(** The ground-truth delay backend evaluation reads. *)
 
 val engine : t -> Tivaware_measure.Engine.t
 (** The measurement plane observations go through ({!create} installs
@@ -117,7 +126,19 @@ val reset_movement : t -> unit
 
 val absolute_errors : t -> float array
 (** |predicted - measured| over all present edges at the current
-    state. *)
+    state.  Dense systems only (it iterates the full matrix); raises
+    [Invalid_argument] otherwise — see {!sampled_absolute_errors}. *)
 
 val relative_errors : t -> float array
-(** |predicted - measured| / measured over all present edges. *)
+(** |predicted - measured| / measured over all present edges.  Dense
+    systems only, as {!absolute_errors}. *)
+
+val sampled_absolute_errors :
+  t -> Tivaware_util.Rng.t -> pairs:int -> float array
+(** |predicted - measured| over [pairs] uniformly sampled off-diagonal
+    pairs (missing measurements skipped) — the estimator that works on
+    any backend, including lazy spaces too large to enumerate. *)
+
+val sampled_relative_errors :
+  t -> Tivaware_util.Rng.t -> pairs:int -> float array
+(** As {!sampled_absolute_errors}, relative to the measured delay. *)

@@ -3,76 +3,13 @@
 
      metrics_check [--tol F] EXPECTED ACTUAL
 
-   The comparison is structural, not textual: both files must carry the
-   same keys (a metric appearing or disappearing is a failure either
-   way), strings and booleans must match exactly, and numbers must agree
-   within a relative tolerance — seeded runs are bit-deterministic in
-   probe *counts*, but derived means can drift by an ulp across libm
-   versions.  The trace ring is excluded: event wording is
-   documentation, not contract. *)
+   The comparison is Tivaware_obs.Diff.structural — same keys on both
+   sides, strings/booleans exact, numbers within a relative tolerance —
+   with the trace ring excluded: event wording is documentation, not
+   contract. *)
 
 module Json = Tivaware_obs.Json
-
-(* Default relative tolerance for numeric fields; override per scenario
-   with --tol when a summary carries genuinely noisy series. *)
-let default_tolerance = 0.02
-
-let failures = ref 0
-
-let fail path fmt =
-  Printf.ksprintf
-    (fun s ->
-      incr failures;
-      Printf.printf "FAIL %s: %s\n" path s)
-    fmt
-
-let close ~tol a b =
-  a = b
-  || Float.abs (a -. b) <= tol *. Float.max (Float.abs a) (Float.abs b)
-
-let rec compare_json ~tol path expected actual =
-  match (expected, actual) with
-  | Json.Null, Json.Null -> ()
-  | Json.Bool a, Json.Bool b ->
-    if a <> b then fail path "expected %b, got %b" a b
-  | (Json.Int _ | Json.Float _), (Json.Int _ | Json.Float _) ->
-    let a = Option.get (Json.to_float expected)
-    and b = Option.get (Json.to_float actual) in
-    if not (close ~tol a b) then
-      fail path "expected %g, got %g (tolerance %g)" a b tol
-  | Json.String a, Json.String b ->
-    if a <> b then fail path "expected %S, got %S" a b
-  | Json.List a, Json.List b ->
-    if List.length a <> List.length b then
-      fail path "expected %d elements, got %d" (List.length a) (List.length b)
-    else
-      List.iteri
-        (fun i (e, a) -> compare_json ~tol (Printf.sprintf "%s[%d]" path i) e a)
-        (List.combine a b)
-  | Json.Obj a, Json.Obj b ->
-    let keys l = List.sort compare (List.map fst l) in
-    List.iter
-      (fun k ->
-        if not (List.mem_assoc k b) then fail path "missing key %S" k)
-      (keys a);
-    List.iter
-      (fun k ->
-        if not (List.mem_assoc k a) then fail path "unexpected key %S" k)
-      (keys b);
-    List.iter
-      (fun (k, e) ->
-        match List.assoc_opt k b with
-        | Some v -> compare_json ~tol (path ^ "." ^ k) e v
-        | None -> ())
-      a
-  | _ ->
-    fail path "type mismatch"
-
-(* Drop the trace ring before comparing. *)
-let strip_trace = function
-  | Json.Obj fields ->
-    Json.Obj (List.filter (fun (k, _) -> k <> "trace" && k <> "trace_dropped") fields)
-  | v -> v
+module Diff = Tivaware_obs.Diff
 
 let read_json path =
   let ic =
@@ -89,7 +26,7 @@ let read_json path =
     exit 2
 
 let () =
-  let tol = ref default_tolerance in
+  let tol = ref Diff.default_tolerance in
   let positional = ref [] in
   let rec parse = function
     | "--tol" :: v :: rest ->
@@ -108,12 +45,15 @@ let () =
       prerr_endline "usage: metrics_check [--tol F] EXPECTED ACTUAL";
       exit 2
   in
-  let expected = strip_trace (read_json expected_path)
-  and actual = strip_trace (read_json actual_path) in
-  compare_json ~tol:!tol "$" expected actual;
-  if !failures > 0 then begin
-    Printf.printf "%d mismatch(es) between %s and %s\n" !failures expected_path
+  let expected = Diff.strip_trace (read_json expected_path)
+  and actual = Diff.strip_trace (read_json actual_path) in
+  let failures = Diff.structural ~tol:!tol expected actual in
+  List.iter
+    (fun (path, msg) -> Printf.printf "FAIL %s: %s\n" path msg)
+    failures;
+  match List.length failures with
+  | 0 -> Printf.printf "%s matches %s (tolerance %g)\n" actual_path expected_path !tol
+  | n ->
+    Printf.printf "%d mismatch(es) between %s and %s\n" n expected_path
       actual_path;
     exit 1
-  end
-  else Printf.printf "%s matches %s (tolerance %g)\n" actual_path expected_path !tol
