@@ -41,6 +41,7 @@ let () =
   Figures_measure.register ();
   Figures_repair.register ();
   Figures_backend.register ();
+  Figures_service.register ();
   Ablations.register ();
   Extensions.register ();
   if !perf then Perf.run ()

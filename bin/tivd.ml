@@ -1,0 +1,299 @@
+(* tivd — the sustained-load query-serving harness.
+
+   Serves a seeded mixed stream of Meridian closest-node queries, Chord
+   lookups and multicast refresh passes against a delay backend, sharded
+   across OCaml domains (one world + engine + metric registry per
+   domain), and reports one deterministic merged summary.
+
+   The summary written by --report depends only on the spec and the
+   domain count — never on scheduling or wall-clock — so CI can diff it
+   against a committed fixture; throughput (wall-clock qps) is printed
+   to stdout only. *)
+
+open Cmdliner
+module Rng = Tivaware_util.Rng
+module Io = Tivaware_delay_space.Io
+module Datasets = Tivaware_topology.Datasets
+module Generator = Tivaware_topology.Generator
+module Synthesizer = Tivaware_topology.Synthesizer
+module Backend = Tivaware_backend.Delay_backend
+module Engine = Tivaware_measure.Engine
+module Fault = Tivaware_measure.Fault
+module Obs = Tivaware_obs
+module Workload = Tivaware_service.Workload
+module Shard = Tivaware_service.Shard
+module Driver = Tivaware_service.Driver
+
+let make_backend_factory kind ~matrix_file ~nodes ~model_size ~memo ~seed =
+  let memo = if memo <= 0 then None else Some memo in
+  let load_or_generate size =
+    match matrix_file with
+    | Some path -> Io.load path
+    | None -> (Datasets.generate ~size ~seed Datasets.Ds2).Generator.matrix
+  in
+  match kind with
+  | `Dense ->
+    (* The matrix is immutable, so shard factories may share it; each
+       shard still gets its own backend value (obs attach points). *)
+    let m = load_or_generate nodes in
+    fun () -> Backend.dense m
+  | `Lazy ->
+    let model = Synthesizer.analyze (load_or_generate model_size) in
+    fun () -> Backend.lazy_synth ?memo ~seed ~size:nodes model
+
+let make_engine_config ~loss ~jitter ~retries ~cache_ttl ~cache_capacity
+    ~charge_time ~seed =
+  {
+    Engine.default_config with
+    Engine.fault = { Fault.default with Fault.loss; jitter; retries };
+    cache_ttl = (if cache_ttl <= 0. then None else Some cache_ttl);
+    cache_capacity = (if cache_capacity <= 0 then None else Some cache_capacity);
+    charge_time;
+    seed;
+  }
+
+let kind_counter obs name kind =
+  Obs.Counter.value
+    (Obs.Registry.counter obs
+       ~labels:[ ("kind", Workload.kind_label kind) ]
+       name)
+
+let kind_latency obs kind =
+  Obs.Registry.histogram obs
+    ~labels:[ ("kind", Workload.kind_label kind) ]
+    ~edges:Shard.latency_edges "service.latency_ms"
+
+let print_summary result wall =
+  let obs = result.Driver.obs in
+  let served =
+    Array.fold_left
+      (fun acc k -> acc +. kind_counter obs "service.queries" k)
+      0. Workload.kinds
+  in
+  Format.printf "tivd: served %.0f queries over %d domain%s in %.2f s (%.0f qps)@."
+    served result.Driver.domains
+    (if result.Driver.domains = 1 then "" else "s")
+    wall
+    (if wall > 0. then served /. wall else 0.);
+  Array.iter
+    (fun kind ->
+      let q = kind_counter obs "service.queries" kind in
+      let f = kind_counter obs "service.failures" kind in
+      let h = kind_latency obs kind in
+      Format.printf
+        "  %-10s %6.0f queries, %.0f failures, latency p50=%.1f p99=%.1f ms@."
+        (Workload.kind_label kind) q f
+        (Obs.Histogram.quantile h 0.5)
+        (Obs.Histogram.quantile h 0.99))
+    Workload.kinds;
+  let switches = Obs.Counter.value (Obs.Registry.counter obs "service.switches") in
+  let hops =
+    Obs.Registry.histogram obs ~edges:Shard.hops_edges "service.hops"
+  in
+  Format.printf "  dht hops mean=%.2f, refresh switches=%.0f, clock=%.1f s@."
+    (Obs.Histogram.mean hops) switches result.Driver.clock
+
+let run domains queries rate mix backend_kind matrix_file nodes model_size memo
+    seed meridian candidate_budget beta loss jitter retries cache_ttl
+    cache_capacity charge_time sequential report =
+  try
+    let spec =
+      {
+        Shard.seed;
+        engine_config =
+          make_engine_config ~loss ~jitter ~retries ~cache_ttl ~cache_capacity
+            ~charge_time ~seed;
+        make_backend =
+          make_backend_factory backend_kind ~matrix_file ~nodes ~model_size
+            ~memo ~seed;
+        meridian_count = meridian;
+        candidate_budget =
+          (if candidate_budget <= 0 then None else Some candidate_budget);
+        beta;
+        rate = (if rate <= 0. then None else Some rate);
+        mix;
+        queries;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      if sequential then Driver.run_sequential spec
+      else Driver.run ~domains spec
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    print_summary result wall;
+    Option.iter
+      (fun path ->
+        Obs.Summary.write ~clock:result.Driver.clock result.Driver.obs path;
+        Format.printf "summary written to %s@." path)
+      report;
+    0
+  with Invalid_argument msg | Sys_error msg ->
+    prerr_endline ("tivd: " ^ msg);
+    2
+
+(* ---------------------------------------------------------------- *)
+(* Arguments                                                         *)
+
+let mix_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ c; d; m ] -> (
+      match (int_of_string_opt c, int_of_string_opt d, int_of_string_opt m) with
+      | Some closest, Some dht, Some multicast -> (
+        let mix = { Workload.closest; dht; multicast } in
+        match Workload.validate_mix mix with
+        | () -> Ok mix
+        | exception Invalid_argument msg -> Error (`Msg msg))
+      | _ -> Error (`Msg (Printf.sprintf "invalid mix %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "mix must be C:D:M, got %S" s))
+  in
+  let print ppf m =
+    Format.fprintf ppf "%d:%d:%d" m.Workload.closest m.Workload.dht
+      m.Workload.multicast
+  in
+  Arg.conv (parse, print)
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains the query stream is sharded across.")
+
+let queries_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "queries" ] ~docv:"N" ~doc:"Total queries in the stream.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Open-loop Poisson arrival rate in queries/second (0 = \
+              closed loop: back-to-back queries, no arrival clock).")
+
+let mix_arg =
+  Arg.(
+    value & opt mix_conv Workload.default_mix
+    & info [ "mix" ] ~docv:"C:D:M"
+        ~doc:"Relative weights of closest:dht:multicast queries.")
+
+let backend_kind_arg =
+  Arg.(
+    value
+    & opt (enum [ ("dense", `Dense); ("lazy", `Lazy) ]) `Dense
+    & info [ "backend" ] ~docv:"KIND"
+        ~doc:"Delay-plane backend: $(b,dense) materializes the matrix, \
+              $(b,lazy) synthesizes queried pairs on demand from a DS2 \
+              model.")
+
+let matrix_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "matrix" ] ~docv:"FILE"
+        ~doc:"Delay matrix to serve (dense) or to measure the DS2 model \
+              from (lazy); omitted = a generated DS2 space.")
+
+let nodes_arg =
+  Arg.(
+    value & opt int 400
+    & info [ "nodes" ] ~docv:"N" ~doc:"Delay-space node count.")
+
+let model_size_arg =
+  Arg.(
+    value & opt int 400
+    & info [ "model-size" ] ~docv:"N"
+        ~doc:"Dense source size the lazy backend's model is measured from.")
+
+let memo_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "memo" ] ~docv:"N"
+        ~doc:"LRU memo bound for the lazy backend (0 = no memo).")
+
+let seed_arg =
+  Arg.(value & opt int 2007 & info [ "seed" ] ~docv:"N" ~doc:"Master seed.")
+
+let meridian_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "meridian" ] ~docv:"N"
+        ~doc:"Meridian participants sampled from the space.")
+
+let candidate_budget_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "candidate-budget" ] ~docv:"N"
+        ~doc:"Ring-construction discovery budget per Meridian node \
+              (0 = unbounded, scans all participants).")
+
+let beta_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "beta" ] ~docv:"F" ~doc:"Meridian acceptance threshold.")
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ] ~docv:"P" ~doc:"Injected probe loss probability.")
+
+let jitter_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "jitter" ] ~docv:"F"
+        ~doc:"Multiplicative probe jitter in [1-F, 1+F].")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N" ~doc:"Probe retries after a loss.")
+
+let cache_ttl_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "cache-ttl" ] ~docv:"S"
+        ~doc:"Measurement cache TTL in seconds (0 = no cache).")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"LRU bound on cache entries (0 = unbounded).")
+
+let charge_time_arg =
+  Arg.(
+    value & flag
+    & info [ "charge-time" ]
+        ~doc:"Advance the engine clock by each probe's measurement cost.")
+
+let sequential_arg =
+  Arg.(
+    value & flag
+    & info [ "sequential" ]
+        ~doc:"Run the reference sequential driver on the calling domain \
+              (ignores $(b,--domains); the bit-identity baseline for \
+              $(b,--domains 1)).")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write the merged observability summary as JSON.")
+
+let cmd =
+  let term =
+    Term.(
+      const run $ domains_arg $ queries_arg $ rate_arg $ mix_arg
+      $ backend_kind_arg $ matrix_arg $ nodes_arg $ model_size_arg $ memo_arg
+      $ seed_arg $ meridian_arg $ candidate_budget_arg $ beta_arg $ loss_arg
+      $ jitter_arg $ retries_arg $ cache_ttl_arg $ cache_capacity_arg
+      $ charge_time_arg $ sequential_arg $ report_arg)
+  in
+  Cmd.v
+    (Cmd.info "tivd" ~version:"%%VERSION%%"
+       ~doc:"Multicore sustained-load query serving over a delay backend.")
+    term
+
+let () = exit (Cmd.eval' cmd)

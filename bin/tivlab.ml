@@ -741,36 +741,48 @@ let synthesize_cmd =
 (* dht                                                               *)
 
 let dht_cmd =
-  let run matrix_file size seed lookups candidates pns meas =
+  let run matrix_file size seed kind nodes model_size memo lookups candidates
+      pns meas =
     let module Chord = Tivaware_dht.Chord in
     let module Id_space = Tivaware_dht.Id_space in
-    let m, labels = load_or_generate matrix_file size seed in
+    let nodes = if nodes > 0 then nodes else size in
+    let backend, labels =
+      make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed
+    in
+    let n = Backend.size backend in
     let rng = Rng.create seed in
     let engine = ref None in
     let overlay =
       match pns with
-      | `None -> Chord.build ~candidates m
-      | `Oracle -> Chord.build ~candidates ~predict:(fun a b -> Matrix.get m a b) m
+      | `None -> Chord.build_sized ~candidates n
+      | `Oracle -> Chord.build_backend ~candidates backend
       | `Engine ->
         (* PNS probes pay the measurement plane (--loss, --retry-policy,
            --cache-capacity, ...). *)
-        let e = make_engine m ~labels meas ~seed in
+        let e = make_backend_engine backend ~labels meas ~seed in
         engine := Some e;
         Chord.build_engine ~candidates e
       | `Vivaldi ->
-        let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
-        Chord.build ~candidates ~predict:(Selectors.vivaldi_predict system) m
+        (* Coordinate embeddings need the materialized space. *)
+        let system =
+          Selectors.embed_vivaldi (Rng.create (seed + 1)) (Backend.densify backend)
+        in
+        Chord.build_backend ~candidates
+          ~predict:(Selectors.vivaldi_predict system) backend
       | `Tiv_aware ->
-        let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
+        let system =
+          Selectors.embed_vivaldi (Rng.create (seed + 1)) (Backend.densify backend)
+        in
         Dynamic_neighbors.run system
           { Dynamic_neighbors.rounds_per_iteration = 100; iterations = 5 };
-        Chord.build ~candidates ~predict:(Selectors.vivaldi_predict system) m
+        Chord.build_backend ~candidates
+          ~predict:(Selectors.vivaldi_predict system) backend
     in
     let latencies = ref [] and hops = ref 0 in
     for _ = 1 to lookups do
       let l =
-        Chord.lookup overlay m
-          ~source:(Rng.int rng (Matrix.size m))
+        Chord.lookup_backend overlay backend
+          ~source:(Rng.int rng n)
           ~key:(Rng.int rng Id_space.modulus)
       in
       latencies := l.Chord.latency :: !latencies;
@@ -818,24 +830,29 @@ let dht_cmd =
   Cmd.v
     (Cmd.info "dht" ~doc:"Chord-like DHT lookups with proximity neighbor selection.")
     Term.(
-      const run $ matrix_arg $ size_arg $ seed_arg $ lookups $ candidates $ pns
+      const run $ matrix_arg $ size_arg $ seed_arg $ backend_kind_arg
+      $ nodes_arg $ model_size_arg $ memo_arg $ lookups $ candidates $ pns
       $ meas_term)
 
 (* ---------------------------------------------------------------- *)
 (* multicast                                                         *)
 
 let multicast_cmd =
-  let run matrix_file size seed max_degree refreshes tiv_aware measured meas =
+  let run matrix_file size seed kind nodes model_size memo max_degree refreshes
+      tiv_aware measured meas =
     let module Multicast = Tivaware_overlay.Multicast in
-    let m, labels = load_or_generate matrix_file size seed in
+    let nodes = if nodes > 0 then nodes else size in
+    let backend, labels =
+      make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed
+    in
     let rng = Rng.create seed in
-    let join_order = Rng.permutation rng (Matrix.size m) in
+    let join_order = Rng.permutation rng (Backend.size backend) in
     let config = { Multicast.default_config with Multicast.max_degree } in
     let t, switches, engine =
       if measured then begin
         (* Joins and refreshes probe candidate edges through the
            measurement plane instead of trusting coordinates. *)
-        let engine = make_engine m ~labels meas ~seed in
+        let engine = make_backend_engine backend ~labels meas ~seed in
         let t = Multicast.build_engine ~config engine ~join_order in
         let switches = ref 0 in
         for _ = 1 to refreshes do
@@ -844,20 +861,23 @@ let multicast_cmd =
         (t, !switches, Some engine)
       end
       else begin
-        let system = Selectors.embed_vivaldi (Rng.create (seed + 1)) m in
+        (* Coordinate embeddings need the materialized space. *)
+        let system =
+          Selectors.embed_vivaldi (Rng.create (seed + 1)) (Backend.densify backend)
+        in
         if tiv_aware then
           Dynamic_neighbors.run system
             { Dynamic_neighbors.rounds_per_iteration = 100; iterations = 5 };
         let predict = Selectors.vivaldi_predict system in
-        let t = Multicast.build ~config m ~join_order ~predict in
+        let t = Multicast.build_backend ~config ~predict backend ~join_order in
         let switches = ref 0 in
         for _ = 1 to refreshes do
-          switches := !switches + Multicast.refresh t rng m ~predict
+          switches := !switches + Multicast.refresh_backend ~predict t rng backend
         done;
         (t, !switches, None)
       end
     in
-    let metrics = Multicast.evaluate t m in
+    let metrics = Multicast.evaluate_backend t backend in
     Printf.printf
       "members=%d  mean edge=%.1f ms  stretch p50=%.2f p90=%.2f  depth=%d \
        fanout=%d  (%d refresh switches)\n"
@@ -898,7 +918,8 @@ let multicast_cmd =
   Cmd.v
     (Cmd.info "multicast" ~doc:"Build and score an overlay multicast tree.")
     Term.(
-      const run $ matrix_arg $ size_arg $ seed_arg $ max_degree $ refreshes
+      const run $ matrix_arg $ size_arg $ seed_arg $ backend_kind_arg
+      $ nodes_arg $ model_size_arg $ memo_arg $ max_degree $ refreshes
       $ tiv_aware $ measured $ meas_term)
 
 (* ---------------------------------------------------------------- *)

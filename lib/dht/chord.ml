@@ -89,8 +89,7 @@ let arc_candidates sorted lo hi limit =
   done;
   List.rev !out
 
-let build ?(candidates = 8) ?(successor_list = 4) ?predict m =
-  let n = Matrix.size m in
+let build_sized ?(candidates = 8) ?(successor_list = 4) ?predict n =
   assert (n >= 2);
   if successor_list < 1 then
     invalid_arg "Chord.build: successor_list must be >= 1";
@@ -156,6 +155,20 @@ let build ?(candidates = 8) ?(successor_list = 4) ?predict m =
   in
   { ids; sorted; successors; successor_lists; finger_tables; dead = Array.make n false }
 
+let build ?candidates ?successor_list ?predict m =
+  build_sized ?candidates ?successor_list ?predict (Matrix.size m)
+
+(* The id-space structure needs only a node count, so a backend-built
+   overlay is identical to a matrix-built one whenever the backends
+   agree on delays — which the dense==lazy-densified equivalence tests
+   lean on. *)
+let build_backend ?candidates ?successor_list ?predict backend =
+  let module B = Tivaware_backend.Delay_backend in
+  let predict =
+    match predict with Some p -> p | None -> B.query backend
+  in
+  build_sized ?candidates ?successor_list ~predict (B.size backend)
+
 type lookup = {
   hops : int;
   latency : float;
@@ -163,12 +176,12 @@ type lookup = {
   owner : int;
 }
 
-let lookup t m ~source ~key =
+let lookup_fn t delay ~source ~key =
   let n = size t in
   if source < 0 || source >= n then invalid_arg "Chord.lookup: bad source";
   let owner = live_owner_of t key in
   let hop_cost a b =
-    let d = Matrix.get m a b in
+    let d = delay a b in
     if Float.is_nan d then 0. else d
   in
   let rec route_from cur latency hops acc =
@@ -209,15 +222,21 @@ let lookup t m ~source ~key =
   in
   route_from source 0. 0 [ source ]
 
+let lookup t m ~source ~key = lookup_fn t (Matrix.get m) ~source ~key
+
+let lookup_backend t backend ~source ~key =
+  lookup_fn t (Tivaware_backend.Delay_backend.query backend) ~source ~key
+
 (* Measurement-plane PNS: the proximity predictor probes through the
    engine (budgets, faults, cache all apply), while id-space structure
-   still comes from the engine's ground-truth matrix.  Under the
-   default (exact-oracle) config this is bit-for-bit [build ~predict:(Matrix.get m) m]. *)
+   needs only the engine's node count — so matrix-backed and lazy
+   backend engines both work.  Under the default (exact-oracle) config
+   this is bit-for-bit [build ~predict:(Matrix.get m) m]. *)
 let build_engine ?candidates ?successor_list ?(label = "dht") engine =
   let module Engine = Tivaware_measure.Engine in
-  build ?candidates ?successor_list
+  build_sized ?candidates ?successor_list
     ~predict:(Engine.rtt ~label engine)
-    (Engine.matrix_exn engine)
+    (Engine.size engine)
 
 (* ------------------------------------------------------------------ *)
 (* Successor-list healing                                              *)

@@ -37,6 +37,30 @@ val build :
     when a successor dies.  Raises [Invalid_argument] when
     [successor_list < 1]. *)
 
+val build_sized :
+  ?candidates:int ->
+  ?successor_list:int ->
+  ?predict:(int -> int -> float) ->
+  int ->
+  t
+(** [build_sized n] is {!build} over [n] nodes without a delay source —
+    id-space structure needs none.  Plain Chord fingers unless
+    [predict] is given. *)
+
+val build_backend :
+  ?candidates:int ->
+  ?successor_list:int ->
+  ?predict:(int -> int -> float) ->
+  Tivaware_backend.Delay_backend.t ->
+  t
+(** [build_backend b] constructs the overlay over all nodes of any
+    delay backend — a dense matrix, a lazily synthesized model, a
+    sparse overlay — with PNS fingers predicted by the backend's own
+    delays ([Delay_backend.query b]) unless a [predict] override is
+    given.  Two backends that agree on every queried pair build
+    identical overlays; with a matrix-wrapping backend this is exactly
+    [build ~predict:(Matrix.get m) m]. *)
+
 val build_engine :
   ?candidates:int ->
   ?successor_list:int ->
@@ -46,11 +70,12 @@ val build_engine :
 (** PNS through the measurement plane: finger candidates are compared
     by probing the engine ([label] defaults to ["dht"] in its
     {!Tivaware_measure.Probe_stats}); probes that fail (loss, outage,
-    budget denial) read as [nan] and the candidate is skipped.  The
-    engine must be matrix-backed — id-space structure and {!lookup}
-    latencies use its ground-truth matrix.  Under
-    {!Tivaware_measure.Engine.default_config} the overlay is identical
-    to [build ~predict:(Matrix.get m) m]. *)
+    budget denial) read as [nan] and the candidate is skipped.  Works
+    with any engine — id-space structure needs only the node count —
+    so lazily synthesized backend engines serve as well as
+    matrix-backed ones.  Under
+    {!Tivaware_measure.Engine.default_config} over a matrix the
+    overlay is identical to [build ~predict:(Matrix.get m) m]. *)
 
 val size : t -> int
 val node_id : t -> int -> int
@@ -87,6 +112,14 @@ val lookup : t -> Tivaware_delay_space.Matrix.t -> source:int -> key:int -> look
     Believed-dead fingers are skipped en route.  Hops with missing
     measurements contribute 0 latency (the overlay link exists
     regardless).  Raises [Invalid_argument] on a bad source. *)
+
+val lookup_fn : t -> (int -> int -> float) -> source:int -> key:int -> lookup
+(** {!lookup} generalized over any delay function: hops whose delay
+    reads [nan] contribute 0 latency, as with a missing matrix pair. *)
+
+val lookup_backend :
+  t -> Tivaware_backend.Delay_backend.t -> source:int -> key:int -> lookup
+(** {!lookup} with hop latencies charged from a delay backend. *)
 
 val owner_of : t -> int -> int
 (** The node index whose id is the first at or after [key], ignoring

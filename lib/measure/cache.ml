@@ -1,23 +1,30 @@
 (* TTL'd RTT cache with optional capacity-bounded LRU eviction.
-   Recency is an intrusive doubly-linked list over the entries (head =
-   most recently used), so every operation is O(1). *)
+   Recency is an intrusive circular doubly-linked list over the entries
+   threaded through a sentinel (sentinel.next = most recently used,
+   sentinel.prev = least recently used), so every operation is O(1) and
+   — unlike option-linked lists — relinking an entry on a hit allocates
+   nothing.  Pairs are packed into one int key ([min lsl 31 lor max]),
+   so lookups build no tuple. *)
 
 type entry = {
-  key : int * int;
+  key : int;
   mutable value : float;
   mutable measured : float;
-  mutable prev : entry option;  (* toward the head (more recent) *)
-  mutable next : entry option;  (* toward the tail (least recent) *)
+  mutable prev : entry;  (* toward the head (more recent) *)
+  mutable next : entry;  (* toward the tail (least recent) *)
 }
 
 type t = {
   ttl : float;
   capacity : int option;
-  entries : (int * int, entry) Hashtbl.t;
-  mutable head : entry option;
-  mutable tail : entry option;
+  entries : (int, entry) Hashtbl.t;
+  sentinel : entry;
   mutable evictions : int;
 }
+
+let make_sentinel () =
+  let rec s = { key = min_int; value = nan; measured = nan; prev = s; next = s } in
+  s
 
 let create ?capacity ~ttl () =
   if Float.is_nan ttl || not (ttl > 0.) then
@@ -31,8 +38,7 @@ let create ?capacity ~ttl () =
     ttl;
     capacity;
     entries = Hashtbl.create 256;
-    head = None;
-    tail = None;
+    sentinel = make_sentinel ();
     evictions = 0;
   }
 
@@ -40,72 +46,80 @@ let ttl t = t.ttl
 let capacity t = t.capacity
 let evictions t = t.evictions
 
-let unlink t e =
-  (match e.prev with
-  | Some p -> p.next <- e.next
-  | None -> t.head <- e.next);
-  (match e.next with
-  | Some n -> n.prev <- e.prev
-  | None -> t.tail <- e.prev);
-  e.prev <- None;
-  e.next <- None
+let unlink e =
+  e.prev.next <- e.next;
+  e.next.prev <- e.prev
 
 let push_front t e =
-  e.prev <- None;
-  e.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
-  t.head <- Some e
+  let s = t.sentinel in
+  e.prev <- s;
+  e.next <- s.next;
+  s.next.prev <- e;
+  s.next <- e
 
 let touch t e =
-  match t.head with
-  | Some h when h == e -> ()
-  | _ ->
-    unlink t e;
+  if t.sentinel.next != e then begin
+    unlink e;
     push_front t e
+  end
 
 let drop t e =
-  unlink t e;
+  unlink e;
   Hashtbl.remove t.entries e.key
 
 type lookup = Hit of float | Stale | Miss
 
-let key i j = if i < j then (i, j) else (j, i)
+(* Unordered pair packed into one int; node indices are array indices,
+   well under the 2^31 this is unique up to. *)
+let key i j = if i < j then (i lsl 31) lor j else (j lsl 31) lor i
 
-let find t ~now i j =
-  match Hashtbl.find_opt t.entries (key i j) with
-  | None -> Miss
-  | Some e ->
+let code_hit = 0
+let code_stale = 1
+let code_miss = 2
+
+let find_code t ~now ~into i j =
+  match Hashtbl.find t.entries (key i j) with
+  | e ->
     if now -. e.measured <= t.ttl then begin
       touch t e;
-      Hit e.value
+      into.(0) <- e.value;
+      code_hit
     end
     else begin
       drop t e;
-      Stale
+      code_stale
     end
+  | exception Not_found -> code_miss
+
+let find t ~now i j =
+  let buf = [| nan |] in
+  let c = find_code t ~now ~into:buf i j in
+  if c = code_hit then Hit buf.(0) else if c = code_stale then Stale else Miss
 
 let store t ~now i j value =
   if Float.is_nan value then 0
   else begin
     let k = key i j in
-    match Hashtbl.find_opt t.entries k with
-    | Some e ->
+    match Hashtbl.find t.entries k with
+    | e ->
       e.value <- value;
       e.measured <- now;
       touch t e;
       0
-    | None ->
-      let e = { key = k; value; measured = now; prev = None; next = None } in
+    | exception Not_found ->
+      let s = t.sentinel in
+      let e = { key = k; value; measured = now; prev = s; next = s } in
       Hashtbl.replace t.entries k e;
       push_front t e;
       (match t.capacity with
-      | Some cap when Hashtbl.length t.entries > cap -> (
-        match t.tail with
-        | Some lru ->
+      | Some cap when Hashtbl.length t.entries > cap ->
+        let lru = s.prev in
+        if lru != s then begin
           drop t lru;
           t.evictions <- t.evictions + 1;
           1
-        | None -> 0)
+        end
+        else 0
       | _ -> 0)
   end
 
@@ -113,5 +127,6 @@ let length t = Hashtbl.length t.entries
 
 let clear t =
   Hashtbl.reset t.entries;
-  t.head <- None;
-  t.tail <- None
+  let s = t.sentinel in
+  s.next <- s;
+  s.prev <- s

@@ -31,6 +31,17 @@ type lookup =
 
 val find : t -> now:float -> int -> int -> lookup
 
+val code_hit : int
+val code_stale : int
+val code_miss : int
+
+val find_code : t -> now:float -> into:float array -> int -> int -> int
+(** Non-allocating {!find} for the probe hot path: returns
+    {!code_hit}, {!code_stale} or {!code_miss}; on a hit the cached
+    value is stored (unboxed) in [into.(0)] ([into] must have length
+    >= 1, and is untouched otherwise).  Side effects match {!find}
+    exactly — a hit refreshes recency, a stale entry is evicted. *)
+
 val store : t -> now:float -> int -> int -> float -> int
 (** Records a measurement at [now]; returns the number of entries
     evicted to respect the capacity bound (0 or 1).  [nan] values are

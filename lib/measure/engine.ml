@@ -66,6 +66,11 @@ type t = {
   stats : Probe_stats.t;
   obs : Obs.Registry.t;
   inst : instruments;
+  (* Hot-path scratch: slot 0 the last probe's value, slot 1 its
+     accumulated cost.  A float array, not mutable record fields,
+     because float-array stores are unboxed without flambda; probes
+     never nest, so one scratch per engine is safe. *)
+  scratch : float array;
   mutable clock : float;
 }
 
@@ -119,9 +124,9 @@ let make_instruments obs =
   }
 
 let plane_counters t plane =
-  match Hashtbl.find_opt t.inst.i_per_plane plane with
-  | Some pair -> pair
-  | None ->
+  match Hashtbl.find t.inst.i_per_plane plane with
+  | pair -> pair
+  | exception Not_found ->
     let labels = [ ("plane", plane) ] in
     let pair =
       ( Obs.Registry.counter t.obs ~labels "measure.probes.sent",
@@ -201,6 +206,7 @@ let create ?(config = default_config) oracle =
     stats = Probe_stats.create ();
     obs;
     inst = make_instruments obs;
+    scratch = Array.make 2 nan;
     clock = 0.;
   }
 
@@ -249,24 +255,114 @@ type timed = {
   cost : float;
 }
 
+(* The hot path below works in outcome *codes*, with the probe's value
+   and accumulated cost living in [t.scratch] — no [outcome] variant,
+   [timed] record, closure or ref cell is built per probe.  The
+   variant-returning API ([probe_timed]/[probe]) wraps the code path,
+   so both report identical results; golden fixtures hold either way
+   because the logic, draw order and instrument updates are
+   unchanged. *)
+let code_rtt = 0
+let code_cached = 1
+let code_denied = 2
+let code_down = 3
+let code_lost = 4
+let code_unmeasured = 5
+
 (* One probe after the cache has missed: budget, then the attempt
    loop.  Every wire attempt is charged and counted, including the
    attempts burned against a node in outage (the prober cannot know the
-   peer is down until nothing comes back).  [cost] accumulates what the
-   issuing node waits for: delivered RTTs, timeouts of unanswered
-   attempts, and backoff delays between retries. *)
-let probe_uncached t label i j =
+   peer is down until nothing comes back).  [scratch.(1)] accumulates
+   what the issuing node waits for: delivered RTTs, timeouts of
+   unanswered attempts, and backoff delays between retries.  A
+   top-level recursive function, not a local closure, so the loop
+   captures nothing. *)
+let rec probe_attempt t label i j ~endpoint_down ~retries ~timeout k =
   let st = t.stats in
   let inst = t.inst in
-  let issue () =
+  let s = t.scratch in
+  if k > 0 then begin
+    st.Probe_stats.retried <- st.Probe_stats.retried + 1;
+    Obs.Counter.incr inst.i_retried;
+    s.(1) <- s.(1) +. Fault.backoff_delay t.fault ~attempt:k
+  end;
+  (* Re-admission for retransmissions; the first attempt was charged
+     by the caller's admission check. *)
+  let admitted =
+    k = 0
+    ||
+    match t.budget with
+    | None -> true
+    | Some b -> Budget.try_take b ~now:t.clock i
+  in
+  if not admitted then begin
+    st.Probe_stats.denied <- st.Probe_stats.denied + 1;
+    Obs.Counter.incr inst.i_denied;
+    code_denied
+  end
+  else begin
     Probe_stats.record_issue st label;
     Obs.Counter.incr inst.i_sent;
-    match label with
+    (match label with
     | None -> ()
-    | Some plane -> Obs.Counter.incr (fst (plane_counters t plane))
-  in
-  let timeout = (Fault.config t.fault).Fault.timeout in
-  let cost = ref 0. in
+    | Some plane -> Obs.Counter.incr (fst (plane_counters t plane)));
+    if endpoint_down then begin
+      st.Probe_stats.lost <- st.Probe_stats.lost + 1;
+      Obs.Counter.incr inst.i_lost;
+      Fault.record_outcome t.fault i j ~lost:true;
+      s.(1) <- s.(1) +. timeout;
+      if k < retries then
+        probe_attempt t label i j ~endpoint_down ~retries ~timeout (k + 1)
+      else begin
+        st.Probe_stats.down <- st.Probe_stats.down + 1;
+        Obs.Counter.incr inst.i_down;
+        code_down
+      end
+    end
+    else begin
+      let true_rtt = Oracle.query t.oracle i j in
+      if Float.is_nan true_rtt then begin
+        st.Probe_stats.unmeasured <- st.Probe_stats.unmeasured + 1;
+        Obs.Counter.incr inst.i_unmeasured;
+        (* Indistinguishable from loss at the prober: it waits the
+           timeout and its loss estimate takes the hit. *)
+        Fault.record_outcome t.fault i j ~lost:true;
+        s.(1) <- s.(1) +. timeout;
+        code_unmeasured
+      end
+      else if Fault.attempt_into t.fault i j ~rtt:true_rtt ~into:s then begin
+        let sample = s.(0) in
+        Fault.record_outcome t.fault i j ~lost:false;
+        s.(1) <- s.(1) +. sample;
+        Obs.Histogram.observe inst.i_rtt_ms sample;
+        (match t.cache with
+        | None -> ()
+        | Some c ->
+          let evicted = Cache.store c ~now:t.clock i j sample in
+          st.Probe_stats.evicted <- st.Probe_stats.evicted + evicted;
+          Obs.Counter.add inst.i_evicted (float_of_int evicted));
+        code_rtt
+      end
+      else begin
+        st.Probe_stats.lost <- st.Probe_stats.lost + 1;
+        Obs.Counter.incr inst.i_lost;
+        Fault.record_outcome t.fault i j ~lost:true;
+        s.(1) <- s.(1) +. timeout;
+        if k < retries then
+          probe_attempt t label i j ~endpoint_down ~retries ~timeout (k + 1)
+        else begin
+          st.Probe_stats.failed <- st.Probe_stats.failed + 1;
+          Obs.Counter.incr inst.i_failed;
+          code_lost
+        end
+      end
+    end
+  end
+
+let probe_uncached_code t label i j =
+  let st = t.stats in
+  let inst = t.inst in
+  t.scratch.(1) <- 0.;
   let admitted =
     match t.budget with
     | None -> true
@@ -275,7 +371,7 @@ let probe_uncached t label i j =
   if not admitted then begin
     st.Probe_stats.denied <- st.Probe_stats.denied + 1;
     Obs.Counter.incr inst.i_denied;
-    { outcome = Denied; cost = 0. }
+    code_denied
   end
   else begin
     let endpoint_down =
@@ -285,132 +381,75 @@ let probe_uncached t label i j =
     (* The retry budget is sized once per request, from the issuer's
        estimate of this link's loss as it stood before this request. *)
     let retries = Fault.retry_budget t.fault i j in
-    let rec attempt k =
-      if k > 0 then begin
-        st.Probe_stats.retried <- st.Probe_stats.retried + 1;
-        Obs.Counter.incr inst.i_retried;
-        cost := !cost +. Fault.backoff_delay t.fault ~attempt:k
-      end;
-      (* Re-admission for retransmissions; the first attempt was charged
-         by the [admitted] check above. *)
-      let admitted =
-        k = 0
-        ||
-        match t.budget with
-        | None -> true
-        | Some b -> Budget.try_take b ~now:t.clock i
-      in
-      if not admitted then begin
-        st.Probe_stats.denied <- st.Probe_stats.denied + 1;
-        Obs.Counter.incr inst.i_denied;
-        Denied
-      end
-      else begin
-        issue ();
-        if endpoint_down then begin
-          st.Probe_stats.lost <- st.Probe_stats.lost + 1;
-          Obs.Counter.incr inst.i_lost;
-          Fault.record_outcome t.fault i j ~lost:true;
-          cost := !cost +. timeout;
-          if k < retries then attempt (k + 1)
-          else begin
-            st.Probe_stats.down <- st.Probe_stats.down + 1;
-            Obs.Counter.incr inst.i_down;
-            Down
-          end
-        end
-        else begin
-          let true_rtt = Oracle.query t.oracle i j in
-          if Float.is_nan true_rtt then begin
-            st.Probe_stats.unmeasured <- st.Probe_stats.unmeasured + 1;
-            Obs.Counter.incr inst.i_unmeasured;
-            (* Indistinguishable from loss at the prober: it waits the
-               timeout and its loss estimate takes the hit. *)
-            Fault.record_outcome t.fault i j ~lost:true;
-            cost := !cost +. timeout;
-            Unmeasured
-          end
-          else begin
-            match Fault.attempt t.fault i j ~rtt:true_rtt with
-            | Fault.Delivered sample ->
-              Fault.record_outcome t.fault i j ~lost:false;
-              cost := !cost +. sample;
-              Obs.Histogram.observe inst.i_rtt_ms sample;
-              Option.iter
-                (fun c ->
-                  let evicted = Cache.store c ~now:t.clock i j sample in
-                  st.Probe_stats.evicted <- st.Probe_stats.evicted + evicted;
-                  Obs.Counter.add inst.i_evicted (float_of_int evicted))
-                t.cache;
-              Rtt sample
-            | Fault.Dropped ->
-              st.Probe_stats.lost <- st.Probe_stats.lost + 1;
-              Obs.Counter.incr inst.i_lost;
-              Fault.record_outcome t.fault i j ~lost:true;
-              cost := !cost +. timeout;
-              if k < retries then attempt (k + 1)
-              else begin
-                st.Probe_stats.failed <- st.Probe_stats.failed + 1;
-                Obs.Counter.incr inst.i_failed;
-                Lost
-              end
-          end
-        end
-      end
-    in
-    let outcome = attempt 0 in
-    { outcome; cost = !cost }
+    let timeout = (Fault.config t.fault).Fault.timeout in
+    probe_attempt t label i j ~endpoint_down ~retries ~timeout 0
   end
 
-let probe_timed ?label t i j =
+let probe_code t label i j =
   let st = t.stats in
   let inst = t.inst in
   st.Probe_stats.requests <- st.Probe_stats.requests + 1;
   Obs.Counter.incr inst.i_requests;
-  let timed =
+  let code =
     match t.cache with
-    | None -> probe_uncached t label i j
-    | Some c -> (
-      match Cache.find c ~now:t.clock i j with
-      | Cache.Hit v ->
+    | None -> probe_uncached_code t label i j
+    | Some c ->
+      let lc = Cache.find_code c ~now:t.clock ~into:t.scratch i j in
+      if lc = Cache.code_hit then begin
         st.Probe_stats.hits <- st.Probe_stats.hits + 1;
         Obs.Counter.incr inst.i_hits;
-        { outcome = Cached v; cost = 0. }
-      | Cache.Stale ->
-        st.Probe_stats.stale <- st.Probe_stats.stale + 1;
-        Obs.Counter.incr inst.i_stale;
-        probe_uncached t label i j
-      | Cache.Miss ->
-        st.Probe_stats.misses <- st.Probe_stats.misses + 1;
-        Obs.Counter.incr inst.i_misses;
-        probe_uncached t label i j)
+        t.scratch.(1) <- 0.;
+        code_cached
+      end
+      else begin
+        if lc = Cache.code_stale then begin
+          st.Probe_stats.stale <- st.Probe_stats.stale + 1;
+          Obs.Counter.incr inst.i_stale
+        end
+        else begin
+          st.Probe_stats.misses <- st.Probe_stats.misses + 1;
+          Obs.Counter.incr inst.i_misses
+        end;
+        probe_uncached_code t label i j
+      end
   in
-  st.Probe_stats.probe_ms <- st.Probe_stats.probe_ms +. timed.cost;
-  Obs.Histogram.observe inst.i_cost_ms timed.cost;
-  if timed.cost > 0. then begin
-    Obs.Counter.add inst.i_probe_ms timed.cost;
+  let cost = t.scratch.(1) in
+  st.Probe_stats.probe_ms <- st.Probe_stats.probe_ms +. cost;
+  Obs.Histogram.observe inst.i_cost_ms cost;
+  if cost > 0. then begin
+    Obs.Counter.add inst.i_probe_ms cost;
     match label with
     | None -> ()
-    | Some plane -> Obs.Counter.add (snd (plane_counters t plane)) timed.cost
+    | Some plane -> Obs.Counter.add (snd (plane_counters t plane)) cost
   end;
-  if t.config.charge_time && timed.cost > 0. then begin
-    t.clock <- t.clock +. (timed.cost /. ms_per_second);
+  if t.config.charge_time && cost > 0. then begin
+    t.clock <- t.clock +. (cost /. ms_per_second);
     sync_churn t
   end;
-  timed
+  code
+
+let probe_timed ?label t i j =
+  let code = probe_code t label i j in
+  let outcome =
+    if code = code_rtt then Rtt t.scratch.(0)
+    else if code = code_cached then Cached t.scratch.(0)
+    else if code = code_denied then Denied
+    else if code = code_down then Down
+    else if code = code_lost then Lost
+    else Unmeasured
+  in
+  { outcome; cost = t.scratch.(1) }
 
 let probe ?label t i j = (probe_timed ?label t i j).outcome
 
 let rtt ?label t i j =
-  match probe ?label t i j with
-  | Rtt v | Cached v -> v
-  | Denied | Down | Lost | Unmeasured -> nan
+  let code = probe_code t label i j in
+  if code <= code_cached then t.scratch.(0) else nan
 
 let rtt_timed ?label t i j =
-  let { outcome; cost } = probe_timed ?label t i j in
-  match outcome with
-  | Rtt v | Cached v -> (v, cost)
-  | Denied | Down | Lost | Unmeasured -> (nan, cost)
+  let code = probe_code t label i j in
+  let v = if code <= code_cached then t.scratch.(0) else nan in
+  (v, t.scratch.(1))
 
 let stats t = t.stats
 let reset_stats t = Probe_stats.reset t.stats

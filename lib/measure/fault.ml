@@ -53,9 +53,12 @@ type t = {
   rng : Rng.t;
   down : (int, unit) Hashtbl.t;
   (* Directed-link state, keyed by [i * n + j].  Hashtables, not n^2
-     arrays: only probed links ever materialize.  Each entry carries the
-     link's EWMA loss estimate and its attempt count. *)
-  loss_est : (int, float * int) Hashtbl.t;
+     arrays: only probed links ever materialize.  Each cell is a
+     2-slot float array — [|ewma; attempt count|] — mutated in place,
+     so the per-attempt estimate update allocates only on a link's
+     first observation (float-array stores are unboxed; a tuple or
+     mixed record here would box every write). *)
+  loss_est : (int, float array) Hashtbl.t;
   (* Source-node aggregate estimate: the fallback prior for links with
      few observations of their own (a prober that has seen 20% loss
      across its links expects roughly that on a fresh link too). *)
@@ -165,9 +168,13 @@ let link_down t i j =
 
 type attempt = Delivered of float | Dropped
 
-let attempt t i j ~rtt =
+(* The non-allocating attempt used by the probe hot path: the sample
+   lands in [into.(0)] instead of a [Delivered] block.  Draw order
+   (loss, then jitter) matches [attempt] exactly — both are the same
+   stream. *)
+let attempt_into t i j ~rtt ~into =
   let lk = link t i j in
-  if lk.Profile.loss > 0. && Rng.bernoulli t.rng lk.Profile.loss then Dropped
+  if lk.Profile.loss > 0. && Rng.bernoulli t.rng lk.Profile.loss then false
   else begin
     let rtt = rtt +. lk.Profile.extra_delay in
     let sample =
@@ -175,8 +182,13 @@ let attempt t i j ~rtt =
         rtt *. Rng.uniform t.rng (1. -. lk.Profile.jitter) (1. +. lk.Profile.jitter)
       else rtt
     in
-    Delivered sample
+    into.(0) <- sample;
+    true
   end
+
+let attempt t i j ~rtt =
+  let buf = [| nan |] in
+  if attempt_into t i j ~rtt ~into:buf then Delivered buf.(0) else Dropped
 
 let link_key t i j = (i * t.n) + j
 
@@ -185,11 +197,17 @@ let ewma prev sample = (loss_est_alpha *. sample) +. ((1. -. loss_est_alpha) *. 
 let record_outcome t i j ~lost =
   if i >= 0 && i < t.n && j >= 0 && j < t.n then begin
     let key = link_key t i j in
-    let prev, count =
-      Option.value ~default:(0., 0) (Hashtbl.find_opt t.loss_est key)
+    let cell =
+      match Hashtbl.find t.loss_est key with
+      | cell -> cell
+      | exception Not_found ->
+        let cell = [| 0.; 0. |] in
+        Hashtbl.add t.loss_est key cell;
+        cell
     in
     let sample = if lost then 1. else 0. in
-    Hashtbl.replace t.loss_est key (ewma prev sample, count + 1);
+    cell.(0) <- ewma cell.(0) sample;
+    cell.(1) <- cell.(1) +. 1.;
     t.node_loss_est.(i) <- ewma t.node_loss_est.(i) sample
   end
 
@@ -200,11 +218,12 @@ let record_outcome t i j ~lost =
    is still distinguished from its clean siblings. *)
 let estimated_loss t i j =
   if i >= 0 && i < t.n && j >= 0 && j < t.n then begin
-    let le, count =
-      Option.value ~default:(0., 0) (Hashtbl.find_opt t.loss_est (link_key t i j))
-    in
-    let w = float_of_int count /. (float_of_int count +. loss_est_prior) in
-    (w *. le) +. ((1. -. w) *. t.node_loss_est.(i))
+    match Hashtbl.find t.loss_est (link_key t i j) with
+    | cell ->
+      let count = cell.(1) in
+      let w = count /. (count +. loss_est_prior) in
+      (w *. cell.(0)) +. ((1. -. w) *. t.node_loss_est.(i))
+    | exception Not_found -> t.node_loss_est.(i)
   end
   else 0.
 

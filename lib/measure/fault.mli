@@ -103,6 +103,13 @@ val attempt : t -> int -> int -> rtt:float -> attempt
     stay aligned across profiles with equal parameters; the link's
     [extra_delay] is added to the RTT before jitter. *)
 
+val attempt_into : t -> int -> int -> rtt:float -> into:float array -> bool
+(** Non-allocating {!attempt} for the probe hot path: [true] means
+    delivered, with the sample stored in [into.(0)] (unboxed —
+    [into] must have length >= 1); [false] means dropped and [into] is
+    untouched.  Consumes the generator exactly as {!attempt} does, so
+    the two are interchangeable draw for draw. *)
+
 (** {2 Per-link loss estimation and retry budgets} *)
 
 val record_outcome : t -> int -> int -> lost:bool -> unit

@@ -90,3 +90,17 @@ let sum t = t.sum
 let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
 let edges t = Array.copy t.edges
 let counts t = Array.copy t.counts
+
+(* Bucket-wise merge: the histogram of the union of both observation
+   streams.  Quantiles of the merge are exactly what a single histogram
+   over all observations would report, because the estimate only reads
+   the bucket counts. *)
+let merge a b =
+  if a.edges <> b.edges then
+    invalid_arg "Histogram.merge: bucket edges differ";
+  let m = create ~edges:a.edges in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.count <- a.count + b.count;
+  m.dropped <- a.dropped + b.dropped;
+  m.sum <- a.sum +. b.sum;
+  m

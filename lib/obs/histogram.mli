@@ -39,3 +39,12 @@ val edges : t -> float array
 val counts : t -> int array
 (** A copy of the per-bucket counts; length [Array.length edges + 1],
     last entry the overflow bucket. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram over the union of both observation
+    streams: bucket counts, totals, sums and dropped tallies add.
+    Because {!quantile} reads only bucket counts, a quantile of the
+    merge equals the quantile of one histogram fed both streams —
+    the property {!Tivaware_obs.Merge} relies on for per-domain summary
+    merging.  Raises [Invalid_argument] when the bucket edges differ
+    (merging histograms of different shape is a schema bug, not data). *)

@@ -1,0 +1,103 @@
+(* Deterministic combination of per-domain registries into one summary.
+
+   The merge is a fold over series keys, so the result depends only on
+   the *multiset* of input series, never on the order the registries
+   are listed in or the order domains finished — the property the
+   service harness's N-domain determinism contract rests on:
+
+   - counters add (every domain counted disjoint events);
+   - histograms merge bucket-wise (Histogram.merge), so post-merge
+     quantiles equal those of one histogram fed every observation;
+   - gauges take the maximum (a gauge is a level, not a flow; max is
+     the only order-free choice that keeps "worst across domains"
+     meaningful for levels like rss_mb or repair.pending);
+   - traces concatenate, sorted by (time, label, message).
+
+   A series key registered under two different kinds across inputs is a
+   schema bug and raises, mirroring the registry's own shape guard. *)
+
+let merge_metric key a b =
+  match (a, b) with
+  | Registry.Counter x, Registry.Counter y ->
+    let c = Counter.create () in
+    Counter.add c (Counter.value x);
+    Counter.add c (Counter.value y);
+    Registry.Counter c
+  | Registry.Gauge x, Registry.Gauge y ->
+    let g = Gauge.create () in
+    Gauge.set g (Float.max (Gauge.value x) (Gauge.value y));
+    Registry.Gauge g
+  | Registry.Histogram x, Registry.Histogram y ->
+    (try Registry.Histogram (Histogram.merge x y)
+     with Invalid_argument _ ->
+       invalid_arg
+         (Printf.sprintf
+            "Merge.registries: histogram %s has different bucket edges across \
+             inputs"
+            key))
+  | a, b ->
+    invalid_arg
+      (Printf.sprintf "Merge.registries: %s is a %s in one input and a %s in \
+                       another"
+         key (Registry.kind_name a) (Registry.kind_name b))
+
+(* Deep copy, so mutating an input after the merge cannot alias into
+   the merged registry. *)
+let copy_metric = function
+  | Registry.Counter x ->
+    let c = Counter.create () in
+    Counter.add c (Counter.value x);
+    Registry.Counter c
+  | Registry.Gauge x ->
+    let g = Gauge.create () in
+    Gauge.set g (Gauge.value x);
+    Registry.Gauge g
+  | Registry.Histogram x ->
+    Registry.Histogram (Histogram.merge x (Histogram.create ~edges:(Histogram.edges x)))
+
+let compare_events (a : Trace.event) (b : Trace.event) =
+  match Float.compare a.Trace.time b.Trace.time with
+  | 0 -> (
+    match String.compare a.Trace.label b.Trace.label with
+    | 0 -> String.compare a.Trace.message b.Trace.message
+    | c -> c)
+  | c -> c
+
+let registries inputs =
+  let trace_capacity =
+    List.fold_left (fun acc r -> acc + Trace.capacity (Registry.trace r)) 0 inputs
+  in
+  let out = Registry.create ~trace_capacity:(max 1 trace_capacity) () in
+  let table = Hashtbl.create 256 in
+  let keys = ref [] in
+  List.iter
+    (fun reg ->
+      List.iter
+        (fun (key, metric) ->
+          match Hashtbl.find_opt table key with
+          | None ->
+            Hashtbl.replace table key (copy_metric metric);
+            keys := key :: !keys
+          | Some acc -> Hashtbl.replace table key (merge_metric key acc metric))
+        (Registry.metrics reg))
+    inputs;
+  List.iter
+    (fun key -> Registry.import out key (Hashtbl.find table key))
+    (List.sort String.compare !keys);
+  (* A singleton merge must reproduce its input byte-for-byte (the
+     service harness's `--domains 1` == sequential contract), and
+     same-time events in one registry carry meaning in insertion order
+     — so only a genuine multi-input merge re-sorts. *)
+  let events =
+    match inputs with
+    | [ only ] -> Trace.events (Registry.trace only)
+    | _ ->
+      List.concat_map (fun reg -> Trace.events (Registry.trace reg)) inputs
+      |> List.stable_sort compare_events
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      Trace.record (Registry.trace out) ~time:e.Trace.time ~label:e.Trace.label
+        e.Trace.message)
+    events;
+  out

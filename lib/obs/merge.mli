@@ -1,0 +1,32 @@
+(** Merging per-domain registries into one deterministic summary.
+
+    The service harness ([Tivaware_service]) runs one engine — and so
+    one metric registry — per domain, because instruments are plain
+    mutable cells (see the domain-safety rule in {!Registry}).  After
+    the domains join, this module combines their registries into a
+    single registry whose {!Summary} is {e independent of domain
+    order}: the merge folds over series keys, and each per-key
+    combination is commutative and associative. *)
+
+val registries : Registry.t list -> Registry.t
+(** [registries rs] is a fresh registry combining every series of
+    every input:
+
+    - {b counters} add — each domain counted disjoint events, the
+      merged counter is the fleet total;
+    - {b histograms} merge bucket-wise, so a post-merge
+      {!Histogram.quantile} equals the quantile of one histogram fed
+      every domain's observations;
+    - {b gauges} take the maximum across inputs (a gauge is a level —
+      the merged value reads as "worst/highest across domains");
+    - {b traces} concatenate, sorted by (time, label, message), into a
+      ring sized to the sum of the input capacities (no merge-time
+      drops).
+
+    The inputs are deep-copied: mutating them afterwards does not
+    alias into the result.  Raises [Invalid_argument] when one series
+    key is registered under different metric kinds across inputs, or
+    under histograms with different bucket edges — a schema bug the
+    shape guard refuses to average away.  [registries [r]] preserves
+    [r]'s series exactly, so a single-domain merged summary is
+    byte-identical to the unmerged one. *)

@@ -6,10 +6,20 @@ type metric =
 type t = {
   table : (string, metric) Hashtbl.t;
   trace : Trace.t;
+  (* Guards the table's *structure* (find-or-create, import, traversal)
+     against concurrent registration from several domains.  It does NOT
+     make the instruments atomic — see the domain-safety rule in the
+     interface: one registry per domain, merged with [Merge] at the
+     end. *)
+  lock : Mutex.t;
 }
 
 let create ?trace_capacity () =
-  { table = Hashtbl.create 64; trace = Trace.create ?capacity:trace_capacity () }
+  {
+    table = Hashtbl.create 64;
+    trace = Trace.create ?capacity:trace_capacity ();
+    lock = Mutex.create ();
+  }
 
 let series_name name labels =
   match labels with
@@ -27,15 +37,20 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
 
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let find_or_create t name labels ~kind ~make =
   let key = series_name name labels in
-  match Hashtbl.find_opt t.table key with
-  | Some m -> m
-  | None ->
-    ignore kind;
-    let m = make () in
-    Hashtbl.replace t.table key m;
-    m
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some m -> m
+      | None ->
+        ignore kind;
+        let m = make () in
+        Hashtbl.replace t.table key m;
+        m)
 
 let mismatch key existing wanted =
   invalid_arg
@@ -73,9 +88,20 @@ let histogram t ?(labels = []) ~edges name =
     h
   | other -> mismatch (series_name name labels) other "histogram"
 
+let import t key metric =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> Hashtbl.replace t.table key metric
+      | Some existing ->
+        if kind_name existing <> kind_name metric then
+          mismatch key existing (kind_name metric)
+        else
+          invalid_arg
+            (Printf.sprintf "Registry.import: %s is already registered" key))
+
 let trace t = t.trace
 let trace_event t ~time ~label message = Trace.record t.trace ~time ~label message
 
 let metrics t =
-  Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.table []
+  with_lock t (fun () -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -13,7 +13,20 @@
 
     Re-registering a name+labels under a different metric kind (or a
     histogram under different edges) raises [Invalid_argument]: a
-    series never silently changes shape. *)
+    series never silently changes shape.
+
+    {2 Domain-safety rule}
+
+    A registry is a {e single-domain} object.  The find-or-create path
+    (and {!import}/{!metrics} traversal) is guarded by a mutex, so two
+    domains that accidentally share a registry cannot corrupt the
+    series table — but the instruments themselves are plain mutable
+    cells: concurrent [Counter.incr] from two domains loses updates,
+    silently.  The supported concurrent shape, used by
+    [Tivaware_service], is {e one registry per domain} (each engine
+    already creates its own), combined into one deterministic summary
+    with {!Merge} after the domains join.  Never hand one engine, or
+    one registry, to two domains. *)
 
 type t
 
@@ -37,9 +50,19 @@ type metric =
   | Gauge of Gauge.t
   | Histogram of Histogram.t
 
+val kind_name : metric -> string
+(** ["counter"], ["gauge"] or ["histogram"] — for diagnostics. *)
+
 val series_name : string -> (string * string) list -> string
 (** The canonical series key, [name] or [name{k=v,...}] with labels
     sorted by key. *)
 
 val metrics : t -> (string * metric) list
 (** Every registered series keyed by {!series_name}, sorted. *)
+
+val import : t -> string -> metric -> unit
+(** [import t key metric] installs a pre-built metric under an exact
+    series key — the building block {!Merge} assembles merged
+    registries with.  Raises [Invalid_argument] when [key] is already
+    registered (whether as the same kind or another): import never
+    silently replaces a live series. *)

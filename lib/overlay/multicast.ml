@@ -32,14 +32,23 @@ let members t =
 
 let children_count t node = t.degree.(node)
 
+(* [known] abstracts [Matrix.known]: whether the pair can carry a tree
+   edge at all.  Backends answer it as "query is not nan", matrices as
+   membership — identical for a matrix-wrapping backend. *)
+let known_of_matrix m node cand = Matrix.known m node cand
+
+let known_of_backend b node cand =
+  node <> cand
+  && not (Float.is_nan (Tivaware_backend.Delay_backend.query b node cand))
+
 (* Predicted-nearest joined member with spare degree among candidates. *)
-let best_attachment t m ~predict node candidates =
+let best_attachment t ~known ~predict node candidates =
   List.fold_left
     (fun acc cand ->
       if
         cand <> node && t.joined.(cand)
         && t.degree.(cand) < t.config.max_degree
-        && Matrix.known m node cand
+        && known node cand
       then begin
         let p = predict node cand in
         if Float.is_nan p then acc
@@ -52,8 +61,7 @@ let best_attachment t m ~predict node candidates =
       else acc)
     None candidates
 
-let build ?(config = default_config) m ~join_order ~predict =
-  let n = Matrix.size m in
+let build_general ?(config = default_config) ~n ~known ~join_order ~predict () =
   assert (Array.length join_order > 0);
   let t =
     {
@@ -71,7 +79,7 @@ let build ?(config = default_config) m ~join_order ~predict =
   Array.iteri
     (fun idx node ->
       if idx > 0 then begin
-        match best_attachment t m ~predict node !member_list with
+        match best_attachment t ~known ~predict node !member_list with
         | Some (chosen, _) ->
           t.parent.(node) <- chosen;
           t.joined.(node) <- true;
@@ -81,6 +89,18 @@ let build ?(config = default_config) m ~join_order ~predict =
       end)
     join_order;
   t
+
+let build ?config m ~join_order ~predict =
+  build_general ?config ~n:(Matrix.size m) ~known:(known_of_matrix m)
+    ~join_order ~predict ()
+
+let build_backend ?config ?predict backend ~join_order =
+  let module B = Tivaware_backend.Delay_backend in
+  let predict =
+    match predict with Some p -> p | None -> B.query backend
+  in
+  build_general ?config ~n:(B.size backend) ~known:(known_of_backend backend)
+    ~join_order ~predict ()
 
 (* Is [candidate] in the subtree rooted at [node]?  Switching to a
    descendant would create a cycle. *)
@@ -111,7 +131,7 @@ let predicted_root_delays t ~predict =
   List.iter (fun node -> ignore (resolve node)) (members t);
   out
 
-let refresh t rng m ~predict =
+let refresh_general t rng ~known ~predict =
   let all_members = Array.of_list (members t) in
   let order = Array.copy all_members in
   Rng.shuffle rng order;
@@ -141,7 +161,7 @@ let refresh t rng m ~predict =
               if
                 cand <> node && cand <> current && t.joined.(cand)
                 && t.degree.(cand) < t.config.max_degree
-                && Matrix.known m node cand
+                && known node cand
               then begin
                 let p = predict node cand in
                 if Float.is_nan p || Float.is_nan root_delay.(cand) then acc
@@ -166,6 +186,16 @@ let refresh t rng m ~predict =
     order;
   !switches
 
+let refresh t rng m ~predict =
+  refresh_general t rng ~known:(known_of_matrix m) ~predict
+
+let refresh_backend ?predict t rng backend =
+  let module B = Tivaware_backend.Delay_backend in
+  let predict =
+    match predict with Some p -> p | None -> B.query backend
+  in
+  refresh_general t rng ~known:(known_of_backend backend) ~predict
+
 type metrics = {
   members : int;
   mean_edge_ms : float;
@@ -175,7 +205,7 @@ type metrics = {
   max_fanout : int;
 }
 
-let evaluate t m =
+let evaluate_fn t delay =
   let n = Array.length t.parent in
   (* Root-to-node tree delay and depth by memoized ascent. *)
   let tree_delay = Array.make n nan in
@@ -187,7 +217,7 @@ let evaluate t m =
     else begin
       let p = t.parent.(node) in
       let pd, pdepth = resolve p in
-      let edge = Matrix.get m node p in
+      let edge = delay node p in
       let d = pd +. (if Float.is_nan edge then 0. else edge) in
       tree_delay.(node) <- d;
       depth.(node) <- pdepth + 1;
@@ -200,9 +230,9 @@ let evaluate t m =
       if node <> t.root then begin
         let _, d = resolve node in
         if d > !max_depth then max_depth := d;
-        let edge = Matrix.get m node t.parent.(node) in
+        let edge = delay node t.parent.(node) in
         if not (Float.is_nan edge) then edges := edge :: !edges;
-        let direct = Matrix.get m node t.root in
+        let direct = delay node t.root in
         if (not (Float.is_nan direct)) && direct > 0. then
           stretches := (tree_delay.(node) /. direct) :: !stretches
       end)
@@ -217,6 +247,11 @@ let evaluate t m =
     max_depth = !max_depth;
     max_fanout = Array.fold_left max 0 t.degree;
   }
+
+let evaluate t m = evaluate_fn t (Matrix.get m)
+
+let evaluate_backend t backend =
+  evaluate_fn t (Tivaware_backend.Delay_backend.query backend)
 
 (* ------------------------------------------------------------------ *)
 (* Churn-aware tree repair                                             *)
@@ -235,7 +270,7 @@ let recompute_degrees t =
         t.degree.(p) <- t.degree.(p) + 1)
     t.parent
 
-let repair t rng m ~predict ~up =
+let repair_general t rng ~known ~predict ~up =
   let detached = ref 0 and reattached = ref 0 and rejoined = ref 0 in
   (* 1. Down members leave the tree; their children become orphans
      (still joined, parent no longer a member). *)
@@ -269,7 +304,7 @@ let repair t rng m ~predict ~up =
           let eligible =
             List.filter (fun c -> not (in_subtree t node c)) (t.root :: sample)
           in
-          match best_attachment t m ~predict node eligible with
+          match best_attachment t ~known ~predict node eligible with
           | Some (chosen, _) when up chosen ->
             t.parent.(node) <- chosen;
             t.degree.(chosen) <- t.degree.(chosen) + 1;
@@ -292,7 +327,7 @@ let repair t rng m ~predict ~up =
           if Array.length pool = 0 then []
           else List.init t.config.refresh_sample (fun _ -> Rng.choice rng pool)
         in
-        match best_attachment t m ~predict node (t.root :: sample) with
+        match best_attachment t ~known ~predict node (t.root :: sample) with
         | Some (chosen, _) when up chosen ->
           t.parent.(node) <- chosen;
           t.joined.(node) <- true;
@@ -302,6 +337,18 @@ let repair t rng m ~predict ~up =
       end)
     t.wants;
   { detached = !detached; reattached = !reattached; rejoined = !rejoined }
+
+let repair t rng m ~predict ~up =
+  repair_general t rng ~known:(known_of_matrix m) ~predict ~up
+
+(* Edge existence against the engine's ground truth, whatever backs
+   it: a matrix pair is known iff its oracle query is non-nan, so this
+   matches [Matrix.known] exactly on matrix engines and extends to
+   lazy backend engines. *)
+let known_of_engine engine i j =
+  let module Engine = Tivaware_measure.Engine in
+  let module Oracle = Tivaware_measure.Oracle in
+  i <> j && not (Float.is_nan (Oracle.query (Engine.oracle engine) i j))
 
 let repair_engine ?(label = "multicast-repair") t rng engine =
   let module Engine = Tivaware_measure.Engine in
@@ -313,7 +360,7 @@ let repair_engine ?(label = "multicast-repair") t rng engine =
     | Some c -> Churn.is_up c i
   in
   let result =
-    repair t rng (Engine.matrix_exn engine)
+    repair_general t rng ~known:(known_of_engine engine)
       ~predict:(Engine.rtt ~label engine)
       ~up
   in
@@ -334,14 +381,17 @@ let repair_engine ?(label = "multicast-repair") t rng engine =
   result
 
 (* Measurement-plane neighbor selection: joins and refreshes predict
-   edge delays by probing through the engine; tree evaluation stays on
-   the ground-truth matrix.  Oracle-mode default reproduces
+   edge delays by probing through the engine; edge existence consults
+   the engine's ground truth directly (matrix or lazy backend alike).
+   Oracle-mode default over a matrix reproduces
    [build ~predict:(Matrix.get m)] bit-for-bit. *)
 let build_engine ?config ?(label = "multicast") engine ~join_order =
   let module Engine = Tivaware_measure.Engine in
-  build ?config (Engine.matrix_exn engine) ~join_order
-    ~predict:(Engine.rtt ~label engine)
+  build_general ?config ~n:(Engine.size engine)
+    ~known:(known_of_engine engine) ~join_order
+    ~predict:(Engine.rtt ~label engine) ()
 
 let refresh_engine ?(label = "multicast") t rng engine =
   let module Engine = Tivaware_measure.Engine in
-  refresh t rng (Engine.matrix_exn engine) ~predict:(Engine.rtt ~label engine)
+  refresh_general t rng ~known:(known_of_engine engine)
+    ~predict:(Engine.rtt ~label engine)

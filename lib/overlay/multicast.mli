@@ -60,6 +60,27 @@ val refresh :
     the tree into long low-latency chains.  Returns the number of
     parent switches. *)
 
+val build_backend :
+  ?config:config ->
+  ?predict:(int -> int -> float) ->
+  Tivaware_backend.Delay_backend.t ->
+  join_order:int array ->
+  t
+(** {!build} over any delay backend: edge existence is "the backend's
+    query is not [nan]" (identical to [Matrix.known] for a
+    matrix-wrapping backend), and the predictor defaults to the
+    backend's own delays.  Two backends that agree on every queried
+    pair grow identical trees. *)
+
+val refresh_backend :
+  ?predict:(int -> int -> float) ->
+  t ->
+  Tivaware_util.Rng.t ->
+  Tivaware_backend.Delay_backend.t ->
+  int
+(** {!refresh} over a delay backend, with the same edge-existence and
+    default-predictor conventions as {!build_backend}. *)
+
 (** {2 Churn-aware tree repair} *)
 
 type repair = {
@@ -99,9 +120,9 @@ val build_engine :
   join_order:int array ->
   t
 (** {!build} with the predictor probing through the measurement plane
-    ([label] defaults to ["multicast"]); the engine must be
-    matrix-backed (joins consult its ground-truth matrix for edge
-    existence, exactly as {!build} does).  Oracle-mode default config
+    ([label] defaults to ["multicast"]); joins consult the engine's
+    ground truth for edge existence — matrix-backed and lazy backend
+    engines both work.  Oracle-mode default config over a matrix
     reproduces [build ~predict:(Matrix.get m)] bit-for-bit. *)
 
 val refresh_engine :
@@ -121,3 +142,10 @@ type metrics = {
 val evaluate : t -> Tivaware_delay_space.Matrix.t -> metrics
 (** Tree quality under {e measured} delays.  Stretch is computed for
     members with a measured direct delay to the root. *)
+
+val evaluate_fn : t -> (int -> int -> float) -> metrics
+(** {!evaluate} generalized over any delay function ([nan] = missing
+    measurement, as with a matrix). *)
+
+val evaluate_backend : t -> Tivaware_backend.Delay_backend.t -> metrics
+(** {!evaluate} judged by a delay backend's answers. *)

@@ -1,0 +1,59 @@
+module Obs = Tivaware_obs
+
+type result = {
+  obs : Obs.Registry.t;
+  clock : float;
+  queries : int;
+  domains : int;
+}
+
+let run_sequential spec =
+  let shard = Shard.create spec in
+  Shard.run_partition shard ~domain:0 ~domains:1;
+  {
+    obs = Shard.obs shard;
+    clock = Shard.clock shard;
+    queries = spec.Shard.queries;
+    domains = 1;
+  }
+
+let run ?(domains = 1) spec =
+  if domains < 1 then invalid_arg "Driver.run: domains must be >= 1";
+  (* Slots are indexed by domain, not by completion order, so the merge
+     input order — and with it the merged summary — is independent of
+     how the runtime schedules the workers. *)
+  let results = Array.make domains None in
+  let queue = Work_queue.create ~capacity:domains () in
+  let worker () =
+    let rec loop () =
+      match Work_queue.pop queue with
+      | None -> ()
+      | Some d ->
+        let shard = Shard.create spec in
+        Shard.run_partition shard ~domain:d ~domains;
+        results.(d) <- Some (Shard.obs shard, Shard.clock shard);
+        loop ()
+    in
+    loop ()
+  in
+  let workers = Array.init domains (fun _ -> Domain.spawn worker) in
+  for d = 0 to domains - 1 do
+    Work_queue.push queue d
+  done;
+  Work_queue.close queue;
+  Array.iter Domain.join workers;
+  let parts =
+    Array.to_list results
+    |> List.mapi (fun d r ->
+           match r with
+           | Some part -> part
+           | None ->
+             invalid_arg
+               (Printf.sprintf "Driver.run: shard %d produced no result" d))
+  in
+  {
+    obs = Obs.Merge.registries (List.map fst parts);
+    clock = List.fold_left (fun acc (_, c) -> Float.max acc c) 0. parts;
+    queries = spec.Shard.queries;
+    domains;
+  }

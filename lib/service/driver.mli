@@ -1,0 +1,34 @@
+(** The sustained-load driver: the whole query stream, served either on
+    the calling domain or sharded across worker domains.
+
+    {!run} spawns [domains] workers; each pops shard indices off a
+    {!Work_queue}, builds its own {!Shard} (world, engine, registry —
+    nothing shared), executes its residue class of the stream, and
+    publishes its registry into a domain-indexed slot.  After the join,
+    the per-domain registries are combined with
+    {!Tivaware_obs.Merge.registries} in domain order — so the merged
+    summary depends only on [(spec, domains)], never on scheduling.
+
+    Determinism contract, tested in [test_service.ml]:
+    - [run ~domains:1] is byte-identical (summary JSON) to
+      {!run_sequential}, even though the work ran on a spawned domain
+      and passed through a singleton merge;
+    - [run ~domains:n] is byte-identical across repeated runs for any
+      fixed [n]. *)
+
+type result = {
+  obs : Tivaware_obs.Registry.t;
+      (** merged registry ([service.*], [measure.*], [backend.*]) *)
+  clock : float;  (** max engine clock over shards, seconds *)
+  queries : int;
+  domains : int;
+}
+
+val run_sequential : Shard.spec -> result
+(** The reference implementation: one shard, executed inline on the
+    calling domain, registry returned unmerged. *)
+
+val run : ?domains:int -> Shard.spec -> result
+(** Serve the stream over [domains] worker domains (default 1).
+    Raises [Invalid_argument] when [domains < 1] and passes through
+    {!Shard.create} spec validation. *)

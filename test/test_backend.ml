@@ -402,6 +402,65 @@ let prop_lazy_pair_pure =
       let b = Backend.query (Backend.lazy_synth ~seed ~size:100 model) j i in
       same_delay a b)
 
+(* ------------------------------------------------------------------ *)
+(* Dense == lazy-densified equivalence for the backend-parameterized
+   protocol drivers: the same delay answers must grow the same Chord
+   overlay and multicast tree, query for query, whichever backend
+   representation serves them. *)
+
+module Chord = Tivaware_dht.Chord
+module Multicast = Tivaware_overlay.Multicast
+
+let lazy_and_densified seed =
+  let model = ds2_model seed in
+  let lz = Backend.lazy_synth ~seed ~size:120 model in
+  (lz, Backend.dense (Backend.densify lz))
+
+let test_equiv_chord () =
+  let lz, dn = lazy_and_densified 31 in
+  let ov_l = Chord.build_backend lz and ov_d = Chord.build_backend dn in
+  for node = 0 to Backend.size lz - 1 do
+    Alcotest.(check int) "successor" (Chord.successor ov_d node)
+      (Chord.successor ov_l node);
+    Alcotest.(check (array int)) "fingers"
+      (Array.of_list (List.sort compare (Array.to_list (Chord.fingers ov_d node))))
+      (Array.of_list (List.sort compare (Array.to_list (Chord.fingers ov_l node))))
+  done;
+  let rng = Rng.create 5 in
+  for _ = 1 to 200 do
+    let source = Rng.int rng (Backend.size lz) in
+    let key = Rng.int rng 4096 in
+    let rl = Chord.lookup_backend ov_l lz ~source ~key in
+    let rd = Chord.lookup_backend ov_d dn ~source ~key in
+    Alcotest.(check int) "hops" rd.Chord.hops rl.Chord.hops;
+    Alcotest.(check int) "owner" rd.Chord.owner rl.Chord.owner;
+    checkf "latency" rd.Chord.latency rl.Chord.latency;
+    Alcotest.(check (list int)) "route" rd.Chord.route rl.Chord.route
+  done
+
+let test_equiv_multicast () =
+  let lz, dn = lazy_and_densified 47 in
+  let n = Backend.size lz in
+  let join_order = Rng.permutation (Rng.create 9) n in
+  let t_l = Multicast.build_backend lz ~join_order in
+  let t_d = Multicast.build_backend dn ~join_order in
+  let parents t = List.map (fun m -> (m, Multicast.parent t m)) (Multicast.members t) in
+  Alcotest.(check (list (pair int (option int)))) "built parents equal"
+    (parents t_d) (parents t_l);
+  let sw_l = Multicast.refresh_backend t_l (Rng.create 3) lz in
+  let sw_d = Multicast.refresh_backend t_d (Rng.create 3) dn in
+  Alcotest.(check int) "refresh switches equal" sw_d sw_l;
+  Alcotest.(check (list (pair int (option int)))) "refreshed parents equal"
+    (parents t_d) (parents t_l);
+  let m_l = Multicast.evaluate_backend t_l lz in
+  let m_d = Multicast.evaluate_backend t_d dn in
+  Alcotest.(check int) "members" m_d.Multicast.members m_l.Multicast.members;
+  checkf "mean edge" m_d.Multicast.mean_edge_ms m_l.Multicast.mean_edge_ms;
+  checkf "median stretch" m_d.Multicast.median_stretch m_l.Multicast.median_stretch;
+  checkf "p90 stretch" m_d.Multicast.p90_stretch m_l.Multicast.p90_stretch;
+  Alcotest.(check int) "max depth" m_d.Multicast.max_depth m_l.Multicast.max_depth;
+  Alcotest.(check int) "max fanout" m_d.Multicast.max_fanout m_l.Multicast.max_fanout
+
 let () =
   Alcotest.run "backend"
     [
@@ -420,6 +479,8 @@ let () =
           Alcotest.test_case "meridian closest" `Quick test_equiv_meridian_closest;
           Alcotest.test_case "meridian online" `Quick test_equiv_meridian_online;
           Alcotest.test_case "tiv alert" `Quick test_equiv_alert;
+          Alcotest.test_case "chord" `Quick test_equiv_chord;
+          Alcotest.test_case "multicast" `Quick test_equiv_multicast;
         ] );
       ( "lazy",
         [

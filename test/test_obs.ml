@@ -221,6 +221,94 @@ let test_summary_series_sorted () =
       (List.map fst fields)
   | _ -> Alcotest.fail "no counters object"
 
+(* ------------------------------------------------------------------ *)
+(* Merge — per-domain registries into one deterministic summary        *)
+
+module Merge = Tivaware_obs.Merge
+
+let test_merge_counters_sum () =
+  let a = Registry.create () and b = Registry.create () in
+  Counter.add (Registry.counter a "shared") 2.;
+  Counter.add (Registry.counter b "shared") 3.5;
+  Counter.incr (Registry.counter a "only_a");
+  let m = Merge.registries [ a; b ] in
+  Alcotest.(check (float 1e-9)) "shared sums" 5.5
+    (Counter.value (Registry.counter m "shared"));
+  Alcotest.(check (float 1e-9)) "lone series copied" 1.
+    (Counter.value (Registry.counter m "only_a"))
+
+let test_merge_gauges_max () =
+  let a = Registry.create () and b = Registry.create () in
+  Gauge.set (Registry.gauge a "level") 4.;
+  Gauge.set (Registry.gauge b "level") 7.;
+  let m = Merge.registries [ a; b ] in
+  Alcotest.(check (float 1e-9)) "max wins" 7.
+    (Gauge.value (Registry.gauge m "level"))
+
+let test_merge_histograms_bucketwise () =
+  let edges = [| 1.; 2.; 5. |] in
+  let a = Registry.create () and b = Registry.create () in
+  let ha = Registry.histogram a ~edges "lat" in
+  let hb = Registry.histogram b ~edges "lat" in
+  let union = Histogram.create ~edges in
+  let xs_a = [ 0.5; 1.5; 9. ] and xs_b = [ 1.5; 3.; 4.; nan ] in
+  List.iter (fun x -> Histogram.observe ha x; Histogram.observe union x) xs_a;
+  List.iter (fun x -> Histogram.observe hb x; Histogram.observe union x) xs_b;
+  let m = Merge.registries [ a; b ] in
+  let hm = Registry.histogram m ~edges "lat" in
+  Alcotest.(check (array int)) "bucket counts add" (Histogram.counts union)
+    (Histogram.counts hm);
+  Alcotest.(check int) "dropped adds" 1 (Histogram.dropped hm);
+  (* The property the per-domain split rests on: quantiles of the merge
+     equal quantiles of one histogram fed both streams. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f of merge = p%.0f of union" (q *. 100.)
+           (q *. 100.))
+        (Histogram.quantile union q) (Histogram.quantile hm q))
+    [ 0.25; 0.5; 0.9; 0.99 ]
+
+let test_merge_shape_guards () =
+  let a = Registry.create () and b = Registry.create () in
+  ignore (Registry.counter a "x");
+  ignore (Registry.gauge b "x");
+  Alcotest.(check bool) "kind collision raises" true
+    (match Merge.registries [ a; b ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let c = Registry.create () and d = Registry.create () in
+  ignore (Registry.histogram c ~edges:[| 1.; 2. |] "h");
+  ignore (Registry.histogram d ~edges:[| 1.; 3. |] "h");
+  Alcotest.(check bool) "edge mismatch raises" true
+    (match Merge.registries [ c; d ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_merge_singleton_exact () =
+  let reg = build_registry 7 in
+  (* Same-time events whose (label, message) order disagrees with
+     insertion order: a singleton merge must not re-sort them. *)
+  Registry.trace_event reg ~time:1000. ~label:"zz" "first";
+  Registry.trace_event reg ~time:1000. ~label:"aa" "second";
+  Alcotest.(check string) "singleton merge byte-identical"
+    (Summary.to_string ~clock:5. reg)
+    (Summary.to_string ~clock:5. (Merge.registries [ reg ]))
+
+let test_merge_input_order_free () =
+  let a = build_registry 3 and b = build_registry 9 in
+  Alcotest.(check string) "merge order free"
+    (Summary.to_string (Merge.registries [ a; b ]))
+    (Summary.to_string (Merge.registries [ b; a ]))
+
+let test_merge_deep_copies () =
+  let a = Registry.create () in
+  Counter.incr (Registry.counter a "c");
+  let m = Merge.registries [ a ] in
+  Counter.incr (Registry.counter a "c");
+  Alcotest.(check (float 1e-9)) "input mutation does not alias" 1.
+    (Counter.value (Registry.counter m "c"))
+
 let () =
   Alcotest.run "obs"
     [
@@ -247,5 +335,17 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_summary_determinism;
           Alcotest.test_case "series sorted" `Quick test_summary_series_sorted;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "counters sum" `Quick test_merge_counters_sum;
+          Alcotest.test_case "gauges max" `Quick test_merge_gauges_max;
+          Alcotest.test_case "histograms bucketwise" `Quick
+            test_merge_histograms_bucketwise;
+          Alcotest.test_case "shape guards" `Quick test_merge_shape_guards;
+          Alcotest.test_case "singleton exact" `Quick test_merge_singleton_exact;
+          Alcotest.test_case "input order free" `Quick
+            test_merge_input_order_free;
+          Alcotest.test_case "deep copies" `Quick test_merge_deep_copies;
         ] );
     ]
