@@ -40,6 +40,7 @@ let () =
   Figures_tivaware.register ();
   Figures_measure.register ();
   Figures_repair.register ();
+  Figures_stabilize.register ();
   Figures_backend.register ();
   Figures_service.register ();
   Ablations.register ();

@@ -42,7 +42,10 @@ module Profile = Tivaware_measure.Profile
 module Churn = Tivaware_measure.Churn
 module Dynamics = Tivaware_measure.Dynamics
 module Budget = Tivaware_measure.Budget
+module Arbiter = Tivaware_measure.Arbiter
 module Probe_stats = Tivaware_measure.Probe_stats
+module Sim = Tivaware_eventsim.Sim
+module Zipf = Tivaware_util.Zipf
 module Obs = Tivaware_obs
 module Backend = Tivaware_backend.Delay_backend
 module Synthesizer = Tivaware_topology.Synthesizer
@@ -740,15 +743,159 @@ let synthesize_cmd =
 (* ---------------------------------------------------------------- *)
 (* dht                                                               *)
 
+(* Continuous-stabilization scenario (--stabilize MS): a Zipf key
+   workload replayed over simulated time while the ring runs Chord's
+   periodic stabilize/notify/fix-fingers protocol.  Both planes pay
+   their probes through one engine — foreground lookups under the
+   [dht] label, maintenance under [chord_stabilize] — and with
+   --probe-budget plus --stabilize-share the maintenance plane is
+   additionally admission-controlled by a strict arbiter carve.  The
+   whole run is a deterministic function of (seed, interval, budget). *)
+let run_dht_stabilize ~backend ~labels ~seed ~candidates ~lookups ~meas
+    ~interval ~keys ~zipf_s ~duration ~replicas ~share ~fingers_per_round =
+  let module Chord = Tivaware_dht.Chord in
+  let module Id_space = Tivaware_dht.Id_space in
+  if keys < 1 then begin
+    prerr_endline "tivlab: --keys must be >= 1";
+    exit 2
+  end;
+  if not (duration > 0.) then begin
+    prerr_endline "tivlab: --duration must be positive";
+    exit 2
+  end;
+  let engine = make_backend_engine backend ~labels meas ~seed in
+  let n = Backend.size backend in
+  let overlay = Chord.build_engine ~candidates engine in
+  (* Distinct key ids, deterministic in the seed. *)
+  let krng = Rng.create (seed + 11) in
+  let seen = Hashtbl.create (2 * keys) in
+  let key_ids =
+    Array.init keys (fun _ ->
+        let rec draw () =
+          let k = Rng.int krng Id_space.modulus in
+          if Hashtbl.mem seen k then draw ()
+          else begin
+            Hashtbl.replace seen k ();
+            k
+          end
+        in
+        draw ())
+  in
+  let store = Chord.Store.create ~replicas overlay ~keys:key_ids in
+  let arbiter =
+    if meas.probe_budget > 0 && share > 0. && share < 1. then begin
+      (* Carve the system-wide probe allowance between the maintenance
+         plane and foreground lookups; only the stabilizer asks for
+         admission, so its carve is a hard ceiling on background spend
+         while the engine-level budget still caps the aggregate. *)
+      let total = float_of_int (meas.probe_budget * n) in
+      Some
+        (Arbiter.create
+           (Arbiter.config ~capacity:total ~rate:total
+              ~shares:[ ("chord_stabilize", share); ("dht", 1. -. share) ]))
+    end
+    else None
+  in
+  let config =
+    { Chord.Stabilizer.default_config with Chord.Stabilizer.interval; fingers_per_round }
+  in
+  let stab =
+    try Chord.Stabilizer.create ~config ?arbiter ~store overlay engine
+    with Invalid_argument msg ->
+      prerr_endline ("tivlab: " ^ msg);
+      exit 2
+  in
+  let sim = Sim.create () in
+  Chord.Stabilizer.schedule stab sim;
+  let zipf = Zipf.create ~n:keys ~s:zipf_s in
+  let wrong_counter =
+    Obs.Registry.counter (Engine.obs engine) "chord.lookup_wrong_owner"
+  in
+  let ground_up node =
+    match Engine.churn engine with None -> true | Some c -> Churn.is_up c node
+  in
+  let lrng = Rng.create (seed + 13) in
+  let latencies = ref [] and hops = ref 0 in
+  let issued = ref 0 and skipped = ref 0 in
+  let correct = ref 0 and wrong = ref 0 in
+  for i = 0 to lookups - 1 do
+    let at = duration *. float_of_int (i + 1) /. float_of_int (lookups + 1) in
+    Sim.schedule_at sim at (fun () ->
+        let source = Rng.int lrng n in
+        let key = key_ids.(Zipf.sample zipf lrng) in
+        if not (ground_up source) then incr skipped
+        else begin
+          incr issued;
+          let l =
+            Chord.lookup_fn overlay
+              (fun u v -> Engine.rtt ~label:"dht" engine u v)
+              ~source ~key
+          in
+          latencies := l.Chord.latency :: !latencies;
+          hops := !hops + l.Chord.hops;
+          (* A lookup is correct when it terminates at a node that is
+             actually up (ground truth, not belief) and holds the key. *)
+          if
+            ground_up l.Chord.owner
+            && Chord.Store.holds store ~key ~node:l.Chord.owner
+          then incr correct
+          else begin
+            incr wrong;
+            Obs.Counter.add wrong_counter 1.
+          end
+        end)
+  done;
+  Sim.run sim ~until:duration;
+  let t = Chord.Stabilizer.totals stab in
+  Printf.printf
+    "stabilize: interval=%gs fingers/round=%d candidates=%d keys=%d zipf=%.2f \
+     replicas=%d duration=%gs\n"
+    interval fingers_per_round candidates keys zipf_s replicas duration;
+  Printf.printf
+    "stabilize: rounds=%d probes=%d rerouted=%d marked_dead=%d revived=%d denied=%d\n"
+    t.Chord.Stabilizer.rounds t.Chord.Stabilizer.checked
+    t.Chord.Stabilizer.rerouted t.Chord.Stabilizer.marked_dead
+    t.Chord.Stabilizer.revived t.Chord.Stabilizer.denied;
+  Printf.printf "keys: migrated=%d copies over %d rehomes\n"
+    (Chord.Store.migrated store) (Chord.Store.rehomes store);
+  let lat = Array.of_list !latencies in
+  let median = if lat = [||] then 0. else Stats.median lat in
+  let p90 = if lat = [||] then 0. else Stats.percentile lat 90. in
+  let hops_mean =
+    if !issued = 0 then 0. else float_of_int !hops /. float_of_int !issued
+  in
+  let pct =
+    if !issued = 0 then 0. else 100. *. float_of_int !correct /. float_of_int !issued
+  in
+  Printf.printf
+    "%d lookups (%d skipped, source down): correct=%.1f%% wrong=%d hops \
+     mean=%.2f latency median=%.1f p90=%.1f ms\n"
+    !issued !skipped pct !wrong hops_mean median p90;
+  print_probe_summary engine;
+  set_gauge engine "dht.lookups" (float_of_int !issued);
+  set_gauge engine "dht.lookup_correct_pct" pct;
+  set_gauge engine "dht.hops_mean" hops_mean;
+  set_gauge engine "dht.latency_median_ms" median;
+  set_gauge engine "dht.latency_p90_ms" p90;
+  write_metrics meas engine
+
 let dht_cmd =
   let run matrix_file size seed kind nodes model_size memo lookups candidates
-      pns meas =
+      pns stabilize_ms stab_keys zipf_s duration replicas stab_share
+      fingers_per_round meas =
     let module Chord = Tivaware_dht.Chord in
     let module Id_space = Tivaware_dht.Id_space in
     let nodes = if nodes > 0 then nodes else size in
     let backend, labels =
       make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed
     in
+    if stabilize_ms > 0. then
+      (* The stabilization scenario always probes through the
+         measurement plane (PNS = engine); --pns is ignored here. *)
+      run_dht_stabilize ~backend ~labels ~seed ~candidates ~lookups ~meas
+        ~interval:(stabilize_ms /. 1000.) ~keys:stab_keys ~zipf_s ~duration
+        ~replicas ~share:stab_share ~fingers_per_round
+    else
     let n = Backend.size backend in
     let rng = Rng.create seed in
     let engine = ref None in
@@ -827,12 +974,62 @@ let dht_cmd =
                 $(b,engine) (direct probes through the measurement \
                 plane), $(b,vivaldi) or $(b,tiv-aware).")
   in
+  let stabilize =
+    Arg.(
+      value & opt float 0.
+      & info [ "stabilize" ] ~docv:"MS"
+          ~doc:"Run the continuous-stabilization scenario: each node \
+                stabilizes every $(docv) milliseconds of simulated time \
+                while a Zipf key workload replays over $(b,--duration). \
+                Implies engine PNS; 0 (default) disables.")
+  in
+  let stab_keys =
+    Arg.(
+      value & opt int 512
+      & info [ "keys" ] ~docv:"N"
+          ~doc:"Keyspace size for the stabilization scenario.")
+  in
+  let zipf_s =
+    Arg.(
+      value & opt float 0.9
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf exponent of the key popularity distribution \
+                (0 = uniform).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 120.
+      & info [ "duration" ] ~docv:"SEC"
+          ~doc:"Simulated seconds the stabilization scenario runs for.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:"Replica copies per key beyond the primary.")
+  in
+  let stab_share =
+    Arg.(
+      value & opt float 0.25
+      & info [ "stabilize-share" ] ~docv:"F"
+          ~doc:"With $(b,--probe-budget), carve this weight fraction of \
+                the system-wide probe allowance into a strict admission \
+                bucket for the stabilization plane (0 or 1 disables \
+                arbitration).")
+  in
+  let fingers_per_round =
+    Arg.(
+      value & opt int 1
+      & info [ "fingers-per-round" ] ~docv:"K"
+          ~doc:"Finger-table slots each stabilization round refreshes.")
+  in
   Cmd.v
     (Cmd.info "dht" ~doc:"Chord-like DHT lookups with proximity neighbor selection.")
     Term.(
       const run $ matrix_arg $ size_arg $ seed_arg $ backend_kind_arg
       $ nodes_arg $ model_size_arg $ memo_arg $ lookups $ candidates $ pns
-      $ meas_term)
+      $ stabilize $ stab_keys $ zipf_s $ duration $ replicas $ stab_share
+      $ fingers_per_round $ meas_term)
 
 (* ---------------------------------------------------------------- *)
 (* multicast                                                         *)

@@ -98,6 +98,11 @@ val believed_dead : t -> int -> bool
     {!heal_engine} pass marks it; routing skips believed-dead fingers
     and owners. *)
 
+val predecessor : t -> int -> int
+(** Node index of the current predecessor belief, [-1] when unknown.
+    Structural (the previous node clockwise) at build; maintained by
+    the stabilizer's notify / check-predecessor exchanges. *)
+
 type lookup = {
   hops : int;
   latency : float;  (** sum of measured delays along the route, ms *)
@@ -153,3 +158,139 @@ val heal_engine : ?label:string -> t -> Tivaware_measure.Engine.t -> heal
     pass, because it is always the first entry of that predecessor's
     list.  Probes are charged and accounted under [label] (default
     ["dht-repair"]). *)
+
+type chord := t
+
+(** {2 Key ownership} *)
+
+(** A keyspace placed on the ring: each key has a primary copy on its
+    live owner and replicas on the owner's first believed-live
+    successor-list entries (classical Chord successor-list
+    replication).  {!Store.rehome} re-computes every key's placement
+    against the ring's current beliefs and counts the copies that
+    moved — the data-migration cost of a churn event. *)
+module Store : sig
+  type t
+
+  val create : ?replicas:int -> chord -> keys:int array -> t
+  (** [create chord ~keys] places each key id on the ring with
+      [replicas] (default 2) additional copies.  Raises
+      [Invalid_argument] on a negative replica count, an empty
+      keyspace, or a duplicate key. *)
+
+  val key_count : t -> int
+  val key : t -> int -> int
+  (** Key id at a key index. *)
+
+  val replicas : t -> int
+
+  val primary_of : t -> int -> int
+  (** Node currently holding the primary copy of a key index. *)
+
+  val holders : t -> int -> int array
+  (** All nodes holding a key index, primary first. *)
+
+  val holds : t -> key:int -> node:int -> bool
+  (** Whether [node] currently holds a copy of key id [key] ([false]
+      for unknown keys). *)
+
+  val rehome : t -> int
+  (** Re-place every key against the ring's current successor
+      structure and failure beliefs; returns the number of copies that
+      moved to a new holder this sweep (dropped copies are free).
+      Key payload movement is not charged to the probe budget — only
+      the stabilization probes that changed the structure were. *)
+
+  val migrated : t -> int
+  (** Cumulative copies moved across all {!rehome} sweeps. *)
+
+  val rehomes : t -> int
+  (** Number of {!rehome} sweeps performed. *)
+end
+
+(** {2 Continuous stabilization} *)
+
+(** The periodic counterpart of {!heal_engine}: Chord's
+    stabilize / notify / fix-fingers / check-predecessor protocol run
+    as recurring {!Tivaware_eventsim.Sim} events, every probe charged
+    through the engine under its own label and (optionally) admitted
+    by a {!Tivaware_measure.Arbiter} plane — the first scenario where
+    a background protocol competes with foreground traffic for probe
+    tokens.  On a fault-free engine with no churn, rounds verify the
+    built structure without changing it: the only trace is the probes
+    on the stabilizer's own label. *)
+module Stabilizer : sig
+  type config = {
+    interval : float;  (** seconds between a node's rounds *)
+    fingers_per_round : int;  (** finger slots refreshed per round *)
+    candidates : int;  (** PNS arc candidates per finger refresh *)
+    label : string;  (** probe-accounting label *)
+    plane : string;  (** arbiter plane and obs [plane] label *)
+  }
+
+  val default_config : config
+  (** [interval = 2.], [fingers_per_round = 1], [candidates = 8],
+      [label = "chord-stabilize"], [plane = "chord_stabilize"]. *)
+
+  type totals = {
+    rounds : int;
+    checked : int;  (** stabilization probes issued *)
+    rerouted : int;
+    marked_dead : int;
+    revived : int;
+    denied : int;
+        (** rounds curtailed by an arbiter refusal: the first refused
+            token counts here and suppresses the round's remaining
+            probes (the carve cannot refill while the clock stands
+            still, so retrying within the round is pointless) *)
+  }
+
+  type t
+
+  val create :
+    ?config:config ->
+    ?arbiter:Tivaware_measure.Arbiter.t ->
+    ?store:Store.t ->
+    chord ->
+    Tivaware_measure.Engine.t ->
+    t
+  (** Registers the [chord.stabilize_rounds] / [chord.keys_migrated]
+      counters and the [repair.*] family under [plane] in the engine's
+      registry at zero, so a stabilized run's metrics summary always
+      carries the schema.  With [arbiter], every probe first asks
+      [admit ~now plane] and is skipped (never issued, counted under
+      [repair.denied] and {!totals}[.denied]) on refusal.  With
+      [store], a round that changed the ring re-homes the keys.
+      Raises [Invalid_argument] on a non-positive interval, negative
+      [fingers_per_round], [candidates < 1], or a store built over a
+      different ring. *)
+
+  val config : t -> config
+  val store : t -> Store.t option
+  val totals : t -> totals
+
+  val round : t -> int -> unit
+  (** One stabilization round of one node, skipped entirely (not even
+      counted) while the node is down under the engine's churn: check
+      the predecessor, find the first live successor candidate (the
+      successor list, then — all silent — the ring itself), adopt the
+      successor's predecessor when it sits strictly between and
+      answers, refresh the successor list from the successor's,
+      notify, and refresh [fingers_per_round] finger slots from the
+      per-node cursor.  When the round changed any belief and a store
+      is attached, the keys are re-homed. *)
+
+  val sweep : t -> unit
+  (** {!round} for every node in index order — the direct-driven
+      (simulator-free) way to run stabilization in tests. *)
+
+  val schedule : ?slave_clock:bool -> t -> Tivaware_eventsim.Sim.t -> unit
+  (** Schedule every node's rounds as recurring simulator events: node
+      [u] of [n] first fires at [interval * (u+1) / n], then every
+      [interval] — a deterministic stagger that spreads maintenance
+      over the period instead of bursting all rounds on one timestamp.
+      Unless [slave_clock] is [false], the engine clock is slaved to
+      the simulator ([Engine.advance_to] on every advance, simulator
+      time in engine seconds) so churn and token refill move with
+      simulated time. *)
+end

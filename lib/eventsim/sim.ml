@@ -26,6 +26,14 @@ let schedule_after t delay f =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
   schedule_at t (t.clock +. delay) f
 
+let schedule_every t ?start ~every f =
+  if not (every > 0.) then
+    invalid_arg "Sim.schedule_every: period must be positive";
+  let first = match start with None -> every | Some s -> s in
+  if first < 0. then invalid_arg "Sim.schedule_every: negative start";
+  let rec fire () = if f () then schedule_after t every fire in
+  schedule_after t first fire
+
 let pending t = Pqueue.length t.queue
 
 let step t =

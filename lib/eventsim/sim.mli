@@ -24,6 +24,15 @@ val schedule_at : t -> float -> (unit -> unit) -> unit
 val schedule_after : t -> float -> (unit -> unit) -> unit
 (** [schedule_after t delay f] = [schedule_at t (now t +. delay)]. *)
 
+val schedule_every : t -> ?start:float -> every:float -> (unit -> bool) -> unit
+(** [schedule_every t ~every f] runs [f] at [now + every], then again
+    [every] later for as long as [f] returns [true] — the recurring
+    helper background protocols (e.g. Chord stabilization) build their
+    maintenance schedule from.  [start] overrides the delay before the
+    {e first} firing only (staggering many periodic tasks keeps them
+    from all landing on the same timestamp).  Raises [Invalid_argument]
+    on a non-positive period or a negative start. *)
+
 val pending : t -> int
 (** Number of events not yet executed. *)
 

@@ -5,7 +5,12 @@
     canonicalized by key order, so [[("plane","vivaldi")]] names the
     same series however the caller orders it; the conventional label
     throughout this repo is [plane] (protocol layer: [vivaldi],
-    [meridian], [chord], [multicast], [alert]).  Accessors
+    [meridian], [chord], [chord_stabilize], [multicast], [alert]).
+    Background maintenance planes get their own value — continuous
+    Chord stabilization reports its [repair.*] family under
+    [chord_stabilize], distinct from one-shot healing's [chord] — so a
+    summary separates maintenance probe spend from the foreground
+    traffic it competes with.  Accessors
     find-or-create: the first call registers the instrument, later
     calls return the same one — so instruments can be resolved once
     and cached on hot paths, and metric families can be pre-registered

@@ -28,7 +28,10 @@ module Fault = Tivaware_measure.Fault
 module Profile = Tivaware_measure.Profile
 module Churn = Tivaware_measure.Churn
 module Dynamics = Tivaware_measure.Dynamics
+module Arbiter = Tivaware_measure.Arbiter
 module Probe_stats = Tivaware_measure.Probe_stats
+module Sim = Tivaware_eventsim.Sim
+module Zipf = Tivaware_util.Zipf
 module Overlay = Tivaware_meridian.Overlay
 module Dynamic_neighbors = Tivaware_vivaldi.Dynamic_neighbors
 module Chord = Tivaware_dht.Chord
@@ -343,10 +346,112 @@ let repair () =
               (fun (l, k) -> Printf.sprintf "%s=%d" l k)
               (Probe_stats.labels st))))
 
+(* ------------------------------------------------------------------ *)
+(* Continuous stabilization: periodic stabilize/notify/fix-fingers as
+   recurring simulator events under burst churn, with an arbitrated
+   probe budget, key re-homing, and a Zipf lookup workload — the full
+   background-vs-foreground stack in one digest. *)
+
+let stabilize () =
+  with_file "golden_stabilize.actual" (fun oc ->
+      Printf.fprintf oc
+        "# continuous chord stabilization under burst churn (arbitrated)\n";
+      let churn =
+        { Churn.fraction = 0.4; mean_up = 60.; mean_down = 120.; seed = 109 }
+      in
+      let e = engine ~churn ~loss:0. ~jitter:0. ~seed:113 () in
+      let c = Option.get (Engine.churn e) in
+      let chord = Chord.build_engine ~successor_list:8 e in
+      let module Id_space = Tivaware_dht.Id_space in
+      let krng = Rng.create 127 in
+      (* spread over the whole id space; low bits carry the index so
+         the 64 ids are distinct by construction *)
+      let keys =
+        Array.init 64 (fun i ->
+            (Rng.int krng (Id_space.modulus lsr 6) lsl 6) lor i)
+      in
+      let store = Chord.Store.create ~replicas:2 chord ~keys in
+      let arbiter =
+        Arbiter.create
+          (Arbiter.config ~capacity:400. ~rate:200.
+             ~shares:[ ("chord_stabilize", 1.); ("dht", 3.) ])
+      in
+      let config =
+        {
+          Chord.Stabilizer.default_config with
+          Chord.Stabilizer.interval = 5.;
+          fingers_per_round = 4;
+        }
+      in
+      let stab = Chord.Stabilizer.create ~config ~arbiter ~store chord e in
+      let sim = Sim.create () in
+      Chord.Stabilizer.schedule stab sim;
+      let zipf = Zipf.create ~n:64 ~s:0.9 in
+      let wl = Rng.create 131 in
+      let looked = ref 0 and correct = ref 0 in
+      for i = 0 to 119 do
+        Sim.schedule_at sim (float_of_int (i * 2) +. 1.5) (fun () ->
+            let source = Rng.int wl n in
+            let key = keys.(Zipf.sample zipf wl) in
+            if Churn.is_up c source then begin
+              incr looked;
+              let l =
+                Chord.lookup_fn chord
+                  (fun u v -> Engine.rtt ~label:"dht" e u v)
+                  ~source ~key
+              in
+              if
+                Churn.is_up c l.Chord.owner
+                && Chord.Store.holds store ~key ~node:l.Chord.owner
+              then incr correct
+            end)
+      done;
+      Array.iter
+        (fun t ->
+          Sim.run sim ~until:t;
+          let up = ref 0 in
+          for i = 0 to n - 1 do
+            if Churn.is_up c i then incr up
+          done;
+          let s = Chord.Stabilizer.totals stab in
+          Printf.fprintf oc
+            "t=%03.0f up=%02d rounds=%d checked=%d rerouted=%d marked=%d \
+             revived=%d denied=%d migrated=%d rehomes=%d lookups=%d correct=%d\n"
+            t !up s.Chord.Stabilizer.rounds s.Chord.Stabilizer.checked
+            s.Chord.Stabilizer.rerouted s.Chord.Stabilizer.marked_dead
+            s.Chord.Stabilizer.revived s.Chord.Stabilizer.denied
+            (Chord.Store.migrated store) (Chord.Store.rehomes store) !looked
+            !correct)
+        [| 0.; 40.; 80.; 120.; 160.; 200.; 240. |];
+      (* Structural spot checks: ring pointers and key placements. *)
+      for u = 0 to 7 do
+        let node = u * 10 in
+        Printf.fprintf oc "node %02d succ=%02d pred=%02d fingers=%d\n" node
+          (Chord.successor chord node)
+          (Chord.predecessor chord node)
+          (Array.length (Chord.fingers chord node))
+      done;
+      for i = 0 to 7 do
+        let k = i * 8 in
+        Printf.fprintf oc "key %02d primary=%02d holders=%s\n" k
+          (Chord.Store.primary_of store k)
+          (String.concat ","
+             (List.map string_of_int
+                (Array.to_list (Chord.Store.holders store k))))
+      done;
+      let st = Engine.stats e in
+      Printf.fprintf oc "probes issued=%d down=%d unmeasured=%d labels: %s\n"
+        st.Probe_stats.issued st.Probe_stats.down st.Probe_stats.unmeasured
+        (String.concat " "
+           (List.map
+              (fun (l, k) -> Printf.sprintf "%s=%d" l k)
+              (Probe_stats.labels st))))
+
 let () =
   vivaldi ();
   meridian ();
   alert ();
   profile ();
   dynamics ();
-  repair ()
+  repair ();
+  stabilize ()

@@ -9,6 +9,7 @@ module Oracle = Tivaware_measure.Oracle
 module Budget = Tivaware_measure.Budget
 module Cache = Tivaware_measure.Cache
 module Fault = Tivaware_measure.Fault
+module Arbiter = Tivaware_measure.Arbiter
 module Engine = Tivaware_measure.Engine
 module Probe_stats = Tivaware_measure.Probe_stats
 module System = Tivaware_vivaldi.System
@@ -157,6 +158,155 @@ let test_cache_lru_eviction () =
   (* Re-storing a resident pair refreshes in place: no eviction. *)
   checki "refresh does not evict" 0 (Cache.store c ~now:2. 0 1 11.);
   checki "cumulative evictions" 1 (Cache.evictions c)
+
+(* [find_code] is the non-allocating twin of [find] on the engine hot
+   path: same outcome, same recency side effects (a hit refreshes LRU
+   order, a stale lookup evicts), value returned through the out
+   param. *)
+let test_cache_find_code () =
+  let c = Cache.create ~ttl:5. () in
+  let into = [| nan |] in
+  checki "miss on empty" Cache.code_miss (Cache.find_code c ~now:0. ~into 1 2);
+  Alcotest.(check bool) "miss leaves out param untouched" true
+    (Float.is_nan into.(0));
+  ignore (Cache.store c ~now:0. 1 2 42.);
+  checki "hit fresh" Cache.code_hit (Cache.find_code c ~now:4. ~into 2 1);
+  checkf "hit stores the value" 42. into.(0);
+  into.(0) <- (-1.);
+  checki "stale past ttl" Cache.code_stale (Cache.find_code c ~now:5.1 ~into 1 2);
+  checkf "stale leaves out param untouched" (-1.) into.(0);
+  (* The stale lookup evicted, exactly like [find]. *)
+  checki "stale evicted the entry" Cache.code_miss
+    (Cache.find_code c ~now:5.1 ~into 1 2);
+  (* A hit through find_code refreshes recency: after touching (0,1),
+     the LRU victim of a full cache is (0,2), not (0,1). *)
+  let c = Cache.create ~capacity:2 ~ttl:100. () in
+  ignore (Cache.store c ~now:0. 0 1 10.);
+  ignore (Cache.store c ~now:1. 0 2 20.);
+  checki "touch the older entry" Cache.code_hit
+    (Cache.find_code c ~now:2. ~into 0 1);
+  checki "third store evicts one" 1 (Cache.store c ~now:3. 0 3 30.);
+  checki "victim is the untouched entry" Cache.code_miss
+    (Cache.find_code c ~now:3. ~into 0 2);
+  checki "touched entry survives" Cache.code_hit
+    (Cache.find_code c ~now:3. ~into 0 1);
+  checkf "and still reads its value" 10. into.(0);
+  checki "eviction counted" 1 (Cache.evictions c)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection out-param path                                      *)
+
+(* [attempt_into] must consume the generator exactly as [attempt]
+   does: two injectors with the same seed driven through the two entry
+   points must agree drop-for-drop and sample-for-sample — that is
+   what lets the engine hot path switch freely between them. *)
+let test_fault_attempt_into_equivalence () =
+  let config = { Fault.default with Fault.loss = 0.3; jitter = 0.2 } in
+  let mk seed = Fault.create ~config (Rng.create seed) ~n:16 in
+  let a = mk 42 and b = mk 42 in
+  let into = [| nan |] in
+  for k = 0 to 199 do
+    let i = k mod 16 and j = (k * 7 + 1) mod 16 in
+    let rtt = 50. +. float_of_int k in
+    let boxed = Fault.attempt a i j ~rtt in
+    let delivered = Fault.attempt_into b i j ~rtt ~into in
+    match boxed with
+    | Fault.Delivered d ->
+        Alcotest.(check bool) "both delivered" true delivered;
+        checkf "same jittered sample" d into.(0)
+    | Fault.Dropped -> Alcotest.(check bool) "both dropped" false delivered
+  done
+
+let test_fault_attempt_into_reuse () =
+  (* Certain loss: the out param is never written, so a stale value
+     from an earlier call must survive — the engine reuses one array
+     across every probe. *)
+  let all_lost =
+    Fault.create
+      ~config:{ Fault.default with Fault.loss = 0.999999 }
+      (Rng.create 5) ~n:4
+  in
+  let into = [| 123.25 |] in
+  let any_delivered = ref false in
+  for _ = 1 to 50 do
+    if Fault.attempt_into all_lost 0 1 ~rtt:10. ~into then any_delivered := true
+  done;
+  Alcotest.(check bool) "everything dropped" false !any_delivered;
+  checkf "dropped attempts never touch the out param" 123.25 into.(0);
+  (* Fault-free: every call overwrites the same cell with the exact
+     RTT (no jitter), regardless of what the previous call left. *)
+  let clean = Fault.create (Rng.create 6) ~n:4 in
+  Alcotest.(check bool) "delivered" true
+    (Fault.attempt_into clean 0 1 ~rtt:17.5 ~into);
+  checkf "sample written over the stale value" 17.5 into.(0);
+  Alcotest.(check bool) "delivered again" true
+    (Fault.attempt_into clean 1 2 ~rtt:3.25 ~into);
+  checkf "cell reused" 3.25 into.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Arbiter                                                             *)
+
+let test_arbiter_shares () =
+  (* Capacity 40 split 1:3 — the background plane can burst 10, the
+     foreground 30, and neither can borrow from the other. *)
+  let a =
+    Arbiter.create
+      (Arbiter.config ~capacity:40. ~rate:4.
+         ~shares:[ ("chord_stabilize", 1.); ("dht", 3.) ])
+  in
+  let drain ?(now = 0.) plane =
+    let k = ref 0 in
+    while Arbiter.admit a ~now plane do
+      incr k
+    done;
+    !k
+  in
+  checki "background carve" 10 (drain "chord_stabilize");
+  checki "foreground carve" 30 (drain "dht");
+  checki "granted counted" 10 (Arbiter.granted a "chord_stabilize");
+  checki "denied counted" 1 (Arbiter.denied a "chord_stabilize");
+  (* Refill is proportional to the share: 4 tokens/s split 1:3. *)
+  Alcotest.(check bool) "background refilled one token" true
+    (Arbiter.admit a ~now:1. "chord_stabilize");
+  Alcotest.(check bool) "and only one" false
+    (Arbiter.admit a ~now:1. "chord_stabilize");
+  checki "foreground refilled three" 3 (drain ~now:1. "dht");
+  (* Unlisted planes are never refused and never run dry. *)
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "unlisted plane admitted" true
+      (Arbiter.admit a ~now:1. "vivaldi")
+  done;
+  checkf "unlisted tokens are infinite" infinity
+    (Arbiter.tokens a ~now:1. "vivaldi");
+  (* The clock is monotonic per plane: a lagging [now] neither refills
+     nor raises. *)
+  Alcotest.(check bool) "stale clock grants nothing extra" false
+    (Arbiter.admit a ~now:0.5 "chord_stabilize")
+
+let test_arbiter_validation () =
+  let bad cfg =
+    match Arbiter.create cfg with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty shares rejected" true
+    (bad (Arbiter.config ~capacity:10. ~rate:1. ~shares:[]));
+  Alcotest.(check bool) "duplicate plane rejected" true
+    (bad
+       (Arbiter.config ~capacity:10. ~rate:1.
+          ~shares:[ ("a", 1.); ("a", 2.) ]));
+  Alcotest.(check bool) "non-positive weight rejected" true
+    (bad (Arbiter.config ~capacity:10. ~rate:1. ~shares:[ ("a", 0.) ]));
+  Alcotest.(check bool) "negative capacity rejected" true
+    (bad (Arbiter.config ~capacity:(-1.) ~rate:1. ~shares:[ ("a", 1.) ]));
+  Alcotest.(check bool) "NaN rate rejected" true
+    (bad (Arbiter.config ~capacity:10. ~rate:nan ~shares:[ ("a", 1.) ]));
+  (* A carve below one token could never admit anything: flagged at
+     construction instead of silently denying forever. *)
+  Alcotest.(check bool) "sub-token carve rejected" true
+    (bad
+       (Arbiter.config ~capacity:10. ~rate:1.
+          ~shares:[ ("tiny", 0.001); ("big", 99.999) ]))
 
 (* ------------------------------------------------------------------ *)
 (* Budgets                                                             *)
@@ -498,6 +648,15 @@ let () =
           Alcotest.test_case "unit semantics" `Quick test_cache_unit;
           Alcotest.test_case "lru capacity eviction" `Quick
             test_cache_lru_eviction;
+          Alcotest.test_case "find_code out-param path" `Quick
+            test_cache_find_code;
+        ] );
+      ( "arbiter",
+        [
+          Alcotest.test_case "strict per-plane shares" `Quick
+            test_arbiter_shares;
+          Alcotest.test_case "config validation" `Quick
+            test_arbiter_validation;
         ] );
       ( "budget",
         [
@@ -516,6 +675,10 @@ let () =
             test_loss_retry_accounting;
           Alcotest.test_case "retries recover" `Quick test_retry_recovers;
           Alcotest.test_case "outages" `Quick test_outage;
+          Alcotest.test_case "attempt_into = attempt draw for draw" `Quick
+            test_fault_attempt_into_equivalence;
+          Alcotest.test_case "attempt_into out-param reuse" `Quick
+            test_fault_attempt_into_reuse;
         ] );
       ( "accounting",
         [

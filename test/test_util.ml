@@ -545,6 +545,93 @@ let test_welford_empty () =
     (fun () -> ignore (Welford.min w))
 
 (* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+
+module Zipf = Tivaware_util.Zipf
+
+let test_zipf_uniform () =
+  (* s = 0 is the uniform distribution. *)
+  let z = Zipf.create ~n:4 ~s:0. in
+  for k = 0 to 3 do
+    checkf_loose 1e-9 "uniform probability" 0.25 (Zipf.probability z k)
+  done
+
+let test_zipf_known_probabilities () =
+  (* n = 3, s = 1: weights 1, 1/2, 1/3 — harmonic normalization 11/6. *)
+  let z = Zipf.create ~n:3 ~s:1. in
+  checkf_loose 1e-9 "rank 0" (6. /. 11.) (Zipf.probability z 0);
+  checkf_loose 1e-9 "rank 1" (3. /. 11.) (Zipf.probability z 1);
+  checkf_loose 1e-9 "rank 2" (2. /. 11.) (Zipf.probability z 2);
+  Alcotest.(check int) "n recorded" 3 (Zipf.n z);
+  checkf "s recorded" 1. (Zipf.s z)
+
+let test_zipf_empirical () =
+  let z = Zipf.create ~n:8 ~s:0.9 in
+  let rng = Rng.create 99 in
+  let counts = Array.make 8 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to 7 do
+    checkf_loose 0.01 "empirical frequency matches probability"
+      (Zipf.probability z k)
+      (float_of_int counts.(k) /. float_of_int draws)
+  done;
+  (* Rank popularity is monotone for s > 0. *)
+  for k = 0 to 6 do
+    Alcotest.(check bool) "lower rank more popular" true
+      (counts.(k) >= counts.(k + 1))
+  done
+
+let test_zipf_one_draw_per_sample () =
+  (* Replayability contract: exactly one generator draw per sample, so
+     a Zipf workload interleaved with other seeded draws stays aligned. *)
+  let z = Zipf.create ~n:16 ~s:0.9 in
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    ignore (Zipf.sample z a);
+    ignore (Rng.float b 1.)
+  done;
+  check Alcotest.int64 "streams advanced identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_zipf_validation () =
+  let bad f = match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "n = 0 rejected" true
+    (bad (fun () -> Zipf.create ~n:0 ~s:1.));
+  Alcotest.(check bool) "negative s rejected" true
+    (bad (fun () -> Zipf.create ~n:4 ~s:(-0.1)));
+  Alcotest.(check bool) "NaN s rejected" true
+    (bad (fun () -> Zipf.create ~n:4 ~s:nan))
+
+let prop_zipf_in_range =
+  qcheck "samples in [0, n)"
+    QCheck2.Gen.(triple (int_range 1 64) (float_range 0. 3.) int)
+    (fun (n, s, seed) ->
+      let z = Zipf.create ~n ~s in
+      let rng = Rng.create seed in
+      List.for_all
+        (fun _ ->
+          let k = Zipf.sample z rng in
+          k >= 0 && k < n)
+        (List.init 50 Fun.id))
+
+let prop_zipf_probabilities_sum =
+  qcheck ~count:100 "probabilities sum to one"
+    QCheck2.Gen.(pair (int_range 1 128) (float_range 0. 3.))
+    (fun (n, s) ->
+      let z = Zipf.create ~n ~s in
+      let sum = ref 0. in
+      for k = 0 to n - 1 do
+        sum := !sum +. Zipf.probability z k
+      done;
+      abs_float (!sum -. 1.) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
 (* Nelder_mead                                                         *)
 
 module Nelder_mead = Tivaware_util.Nelder_mead
@@ -711,6 +798,18 @@ let () =
           prop_welford_merge;
           Alcotest.test_case "min max" `Quick test_welford_min_max;
           Alcotest.test_case "empty" `Quick test_welford_empty;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "uniform at s=0" `Quick test_zipf_uniform;
+          Alcotest.test_case "known probabilities" `Quick
+            test_zipf_known_probabilities;
+          Alcotest.test_case "empirical frequencies" `Quick test_zipf_empirical;
+          Alcotest.test_case "one draw per sample" `Quick
+            test_zipf_one_draw_per_sample;
+          Alcotest.test_case "validation" `Quick test_zipf_validation;
+          prop_zipf_in_range;
+          prop_zipf_probabilities_sum;
         ] );
       ( "nelder_mead",
         [
