@@ -43,6 +43,7 @@ let () =
   Figures_stabilize.register ();
   Figures_backend.register ();
   Figures_service.register ();
+  Figures_store.register ();
   Ablations.register ();
   Extensions.register ();
   if !perf then Perf.run ()

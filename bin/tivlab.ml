@@ -14,6 +14,7 @@
      embed        Vivaldi embedding over a delay backend (dense or lazy)
      closest      Meridian closest-node queries over a delay backend
      tiv-scan     sampled TIV alert evaluation over a delay backend
+     store        object-store reads over a consistent-hashing ring
      metrics-diff per-series comparison of two --metrics-out summaries *)
 
 open Cmdliner
@@ -51,6 +52,9 @@ module Backend = Tivaware_backend.Delay_backend
 module Synthesizer = Tivaware_topology.Synthesizer
 module Overlay = Tivaware_meridian.Overlay
 module Query = Tivaware_meridian.Query
+module Store_ring = Tivaware_store.Ring
+module Store_policy = Tivaware_store.Policy
+module Store_scenario = Tivaware_store.Scenario
 
 (* ---------------------------------------------------------------- *)
 (* Shared arguments                                                  *)
@@ -1403,6 +1407,201 @@ let metrics_diff_cmd =
              when they differ beyond the tolerance.")
     Term.(const run $ tol $ all $ a_path $ b_path)
 
+(* ---------------------------------------------------------------- *)
+(* store: replica placement + read-path policy comparison            *)
+
+let store_cmd =
+  let run matrix_file size seed kind nodes model_size memo policy devices zones
+      part_power replicas objects zipf_s reads duration repair_ms repair_share
+      penalty meas =
+    let nodes = if nodes > 0 then nodes else size in
+    let backend, labels =
+      make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed
+    in
+    let config =
+      {
+        Store_scenario.devices;
+        zones;
+        part_power;
+        replicas;
+        objects;
+        zipf_s;
+        reads;
+        duration;
+        repair_interval = repair_ms /. 1000.;
+        failure_penalty_ms = penalty;
+        seed = seed + 17;
+      }
+    in
+    (try Store_scenario.validate_config "tivlab store" config
+     with Invalid_argument msg ->
+       prerr_endline ("tivlab: " ^ msg);
+       exit 2);
+    let engine = make_backend_engine backend ~labels meas ~seed in
+    (* Coordinate-based policies embed through a separate maintenance
+       engine over the same backend (same measurement-plane options),
+       so the scenario engine's fault/churn streams stay identical
+       across policies and the embedding's probe bill is reported
+       separately. *)
+    let maintenance = ref None in
+    let embed () =
+      let e = make_backend_engine backend ~labels meas ~seed:(seed + 1) in
+      let sys = Selectors.embed_vivaldi_engine (Rng.create (seed + 1)) e in
+      maintenance := Some e;
+      System.predictor sys
+    in
+    let pol =
+      match policy with
+      | `Naive -> Store_policy.naive ()
+      | `Vivaldi -> Store_policy.coordinate (embed ())
+      | `Meridian -> Store_policy.probe ()
+      | `Alert -> Store_policy.alert (embed ())
+    in
+    let arbiter =
+      if meas.probe_budget > 0 && repair_share > 0. && repair_share < 1. then begin
+        (* Same carve as dht --stabilize: the repair plane's admission
+           bucket is a strict share of the system-wide allowance. *)
+        let total = float_of_int (meas.probe_budget * Backend.size backend) in
+        Some
+          (Arbiter.create
+             (Arbiter.config ~capacity:total ~rate:total
+                ~shares:
+                  [ ("store_repair", repair_share); ("store", 1. -. repair_share) ]))
+      end
+      else None
+    in
+    let sc =
+      try Store_scenario.create ?arbiter ~config ~policy:pol ~backend ~engine ()
+      with Invalid_argument msg ->
+        prerr_endline ("tivlab: " ^ msg);
+        exit 2
+    in
+    let ring = Store_scenario.ring sc in
+    let r = Store_scenario.run sc in
+    Printf.printf
+      "store: policy=%s backend=%s devices=%d zones=%d parts=%d replicas=%d \
+       objects=%d zipf=%.2f\n"
+      (Store_policy.name pol) (Backend.kind_name backend) devices zones
+      (Store_ring.parts ring) replicas objects zipf_s;
+    Printf.printf
+      "store: reads issued=%d completed=%d failed=%d skipped=%d handoffs=%d \
+       dead_attempts=%d\n"
+      r.Store_scenario.issued r.Store_scenario.completed r.Store_scenario.failed
+      r.Store_scenario.skipped r.Store_scenario.handoffs
+      r.Store_scenario.dead_attempts;
+    let lat = r.Store_scenario.latencies in
+    let mean = if lat = [||] then 0. else Stats.mean lat in
+    let p50 = if lat = [||] then 0. else Stats.median lat in
+    let p99 = if lat = [||] then 0. else Stats.percentile lat 99. in
+    let maint_probes =
+      match !maintenance with
+      | None -> 0
+      | Some e -> Probe_stats.label_count (Engine.stats e) "vivaldi"
+    in
+    Printf.printf
+      "store: latency mean=%.1f p50=%.1f p99=%.1f ms  policy probes=%d  \
+       maintenance probes=%d\n"
+      mean p50 p99 r.Store_scenario.policy_probes maint_probes;
+    let rep = r.Store_scenario.repair in
+    Printf.printf "store: repair passes=%d checked=%d rehomed=%d restored=%d denied=%d\n"
+      rep.Store_scenario.passes rep.Store_scenario.total_checked
+      rep.Store_scenario.total_rehomed rep.Store_scenario.total_restored
+      rep.Store_scenario.total_denied;
+    print_probe_summary engine;
+    set_gauge engine "store.read_mean_ms" mean;
+    set_gauge engine "store.read_p50_ms" p50;
+    set_gauge engine "store.read_p99_ms" p99;
+    set_gauge engine "store.policy_probes" (float_of_int r.Store_scenario.policy_probes);
+    set_gauge engine "store.maintenance_probes" (float_of_int maint_probes);
+    write_metrics meas engine
+  in
+  let policy =
+    let policies =
+      [ ("naive", `Naive); ("vivaldi", `Vivaldi); ("meridian", `Meridian);
+        ("alert", `Alert) ]
+    in
+    Arg.(
+      value & opt (enum policies) `Alert
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Replica selection: $(b,naive) static proximity (probe once, \
+                trust forever), $(b,vivaldi) coordinate prediction, \
+                $(b,meridian) direct probing of every candidate, or \
+                $(b,alert) TIV-alert-aware verification (walk candidates in \
+                predicted order, skip flagged likely-TIV edges).")
+  in
+  let devices =
+    Arg.(
+      value & opt int 24
+      & info [ "devices" ] ~docv:"N"
+          ~doc:"Storage devices sampled from the delay space's nodes.")
+  in
+  let zones =
+    Arg.(
+      value & opt int 4
+      & info [ "zones" ] ~docv:"N" ~doc:"Failure zones (assigned round-robin).")
+  in
+  let part_power =
+    Arg.(
+      value & opt int 6
+      & info [ "part-power" ] ~docv:"P"
+          ~doc:"2^P partitions on the consistent-hashing ring.")
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"R" ~doc:"Replicas per partition.")
+  in
+  let objects =
+    Arg.(value & opt int 256 & info [ "objects" ] ~docv:"N" ~doc:"Distinct objects.")
+  in
+  let zipf_s =
+    Arg.(
+      value & opt float 0.9
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf exponent of object popularity (0 = uniform).")
+  in
+  let reads =
+    Arg.(
+      value & opt int 600
+      & info [ "reads" ] ~docv:"N"
+          ~doc:"Client GETs spread evenly over $(b,--duration).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 120.
+      & info [ "duration" ] ~docv:"SEC" ~doc:"Simulated seconds the workload runs for.")
+  in
+  let repair_ms =
+    Arg.(
+      value & opt float 10000.
+      & info [ "repair" ] ~docv:"MS"
+          ~doc:"Repair-plane interval in milliseconds of simulated time: \
+                probe device liveness and re-home partitions off \
+                believed-dead devices (0 disables).")
+  in
+  let repair_share =
+    Arg.(
+      value & opt float 0.25
+      & info [ "repair-share" ] ~docv:"F"
+          ~doc:"With $(b,--probe-budget), carve this weight fraction of the \
+                system-wide probe allowance into a strict admission bucket \
+                for the repair plane (0 or 1 disables arbitration).")
+  in
+  let penalty =
+    Arg.(
+      value & opt float 3000.
+      & info [ "penalty" ] ~docv:"MS"
+          ~doc:"Latency charged per attempt on a dead replica (the client's \
+                timeout) before it retries elsewhere.")
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:"Object-store reads over a consistent-hashing ring: compare \
+             replica-selection policies under churn and dynamics.")
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ backend_kind_arg
+      $ nodes_arg $ model_size_arg $ memo_arg $ policy $ devices $ zones
+      $ part_power $ replicas $ objects $ zipf_s $ reads $ duration
+      $ repair_ms $ repair_share $ penalty $ meas_term)
+
 let () =
   let info =
     Cmd.info "tivlab" ~version:"1.0.0"
@@ -1414,5 +1613,5 @@ let () =
           [
             gen_cmd; survey_cmd; vivaldi_cmd; meridian_cmd; alert_cmd; import_cmd;
             repair_cmd; synthesize_cmd; dht_cmd; multicast_cmd; embed_cmd;
-            closest_cmd; tiv_scan_cmd; metrics_diff_cmd;
+            closest_cmd; tiv_scan_cmd; store_cmd; metrics_diff_cmd;
           ]))

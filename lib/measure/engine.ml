@@ -453,3 +453,5 @@ let rtt_timed ?label t i j =
 
 let stats t = t.stats
 let reset_stats t = Probe_stats.reset t.stats
+
+let register_plane t plane = ignore (plane_counters t plane : Obs.Counter.t * Obs.Counter.t)

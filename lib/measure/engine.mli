@@ -174,3 +174,11 @@ val obs : t -> Tivaware_obs.Registry.t
     zero so every {!Tivaware_obs.Summary} carries the full schema.
     Serialize with {!Tivaware_obs.Summary.to_json}, stamping
     {!now} as the clock. *)
+
+val register_plane : t -> string -> unit
+(** Pre-register the per-plane series
+    ([measure.probes.sent{plane=...}], [measure.probe_ms{plane=...}])
+    for a plane label, so summaries written before the plane's first
+    probe — or from a run where it never probes — still carry the full
+    schema.  Planes that do probe are registered lazily as before;
+    this only pins the schema. *)

@@ -1,0 +1,85 @@
+(** A partition → device consistent-hashing ring, after OpenStack
+    Swift's ring builder.
+
+    Objects hash to one of [2^part_power] {e partitions}; each
+    partition is assigned [replicas] distinct {e devices}.  Devices
+    carry a relative [weight] (capacity) and live in a failure [zone];
+    the builder targets weight-proportional slot counts while keeping a
+    partition's replicas in as many distinct zones as possible.  A
+    rebalance after adding or removing a device moves only the minimal
+    number of partition replicas: the new device pulls at most its
+    (rounded) fair share, a removed device's slots are the only ones
+    reassigned, and no slot moves between surviving devices.
+
+    Everything is a pure function of the construction sequence and the
+    [seed]: same inputs, bit-identical assignment. *)
+
+type spec = { node : int; zone : int; weight : float }
+(** A device to place: the delay-space node it lives on, its failure
+    zone, and its relative capacity. *)
+
+type device = { id : int; node : int; zone : int; weight : float }
+(** A placed device.  Ids are dense, assigned in creation order, and
+    never reused after removal. *)
+
+type t
+
+val create : ?seed:int -> part_power:int -> replicas:int -> spec array -> t
+(** [create ~part_power ~replicas specs] builds the ring and assigns
+    every partition replica.  Raises [Invalid_argument] naming the
+    offending field when [part_power] is outside [0, 20], [replicas]
+    is non-positive or exceeds the device count, a [weight] is not
+    positive and finite, or a [node] or [zone] is negative. *)
+
+val part_power : t -> int
+val parts : t -> int
+val replicas : t -> int
+val seed : t -> int
+
+val size : t -> int
+(** Live device count. *)
+
+val devices : t -> device array
+(** Live devices in id order. *)
+
+val device : t -> int -> device option
+(** [None] for removed or never-assigned ids. *)
+
+val assignment : t -> int -> int array
+(** Device ids assigned to a partition (length [replicas], all
+    distinct).  A copy. *)
+
+val partition_of : t -> int -> int
+(** Hash an object id to its partition.  Independent of the device
+    set, so rebalances never remap objects to other partitions. *)
+
+val handoff : t -> int -> int array
+(** The [get_more_nodes] walk: every live device {e not} assigned to
+    the partition, in a deterministic seeded order that visits one
+    device from each zone missing from the partition before any
+    other — so the first handoffs restore zone dispersion.  Never
+    repeats an assigned device. *)
+
+val add_device : t -> spec -> int
+(** Adds a device and rebalances: the newcomer steals slots from the
+    most-overfull donors (preferring partitions where its zone is not
+    yet present) until it holds its rounded fair share.  Only
+    donor → newcomer moves happen.  Returns the new id. *)
+
+val remove_device : t -> int -> unit
+(** Removes a live device and reassigns exactly the slots it held to
+    the most-underfull eligible survivors.  Raises [Invalid_argument]
+    on an unknown id or when removal would leave fewer devices than
+    [replicas]. *)
+
+val last_moves : t -> int
+(** Partition-replica slots reassigned by the most recent
+    {!add_device} or {!remove_device} (0 after [create]). *)
+
+val desired_share : t -> int -> float
+(** The weight-proportional slot count the builder targets for a live
+    device, capped at [parts] (a device holds at most one replica of a
+    partition); excess is redistributed over the uncapped devices. *)
+
+val assigned : t -> int -> int
+(** Slots currently held by a device (0 for removed ids). *)

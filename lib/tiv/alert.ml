@@ -32,3 +32,16 @@ let alerted ~ratios ~threshold =
 
 let is_alert ~ratios ~threshold i j =
   Matrix.known ratios i j && Matrix.get ratios i j <= threshold
+
+(* Per-pair alert check: the replica-selection building block.  Unlike
+   [ratio_matrix_engine] it needs no dense matrix — one verification
+   probe per call, so it works over lazy delay backends too. *)
+let alert_pair ?(label = "alert") ~engine ~predicted ~threshold i j =
+  let d = Engine.rtt ~label engine i j in
+  if Float.is_nan d then `Unmeasurable
+  else if d < 1e-9 then `Clean d
+  else
+    let p = predicted i j in
+    if Float.is_nan p then `Clean d
+    else if p /. d <= threshold then `Flagged d
+    else `Clean d

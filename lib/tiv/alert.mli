@@ -40,3 +40,19 @@ val alerted :
 val is_alert :
   ratios:Tivaware_delay_space.Matrix.t -> threshold:float -> int -> int -> bool
 (** [false] when the edge or its ratio is missing. *)
+
+val alert_pair :
+  ?label:string ->
+  engine:Tivaware_measure.Engine.t ->
+  predicted:(int -> int -> float) ->
+  threshold:float ->
+  int ->
+  int ->
+  [ `Clean of float | `Flagged of float | `Unmeasurable ]
+(** One verification probe for one pair (default plane label
+    ["alert"]): [`Unmeasurable] when the probe fails, otherwise the
+    measured delay tagged [`Flagged] when the prediction ratio
+    [predicted /. measured] is [<= threshold] (a likely-severe shrunk
+    edge) and [`Clean] otherwise.  A missing prediction ([nan]) cannot
+    raise an alert.  Works over any backend — the per-pair counterpart
+    of {!ratio_matrix_engine} for selection loops. *)

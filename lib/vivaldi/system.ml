@@ -247,3 +247,5 @@ let sampled_errors t rng ~pairs =
 
 let sampled_absolute_errors t rng ~pairs = fst (sampled_errors t rng ~pairs)
 let sampled_relative_errors t rng ~pairs = snd (sampled_errors t rng ~pairs)
+
+let predictor t = predicted t

@@ -142,3 +142,7 @@ val sampled_absolute_errors :
 val sampled_relative_errors :
   t -> Tivaware_util.Rng.t -> pairs:int -> float array
 (** As {!sampled_absolute_errors}, relative to the measured delay. *)
+
+val predictor : t -> int -> int -> float
+(** {!predicted} partially applied — the shape selection policies and
+    the TIV alert take as their prediction source. *)

@@ -36,6 +36,10 @@ module Overlay = Tivaware_meridian.Overlay
 module Dynamic_neighbors = Tivaware_vivaldi.Dynamic_neighbors
 module Chord = Tivaware_dht.Chord
 module Multicast = Tivaware_overlay.Multicast
+module Backend = Tivaware_backend.Delay_backend
+module Store_ring = Tivaware_store.Ring
+module Store_policy = Tivaware_store.Policy
+module Store_scenario = Tivaware_store.Scenario
 
 let n = 80
 let world_seed = 7
@@ -447,6 +451,143 @@ let stabilize () =
               (fun (l, k) -> Printf.sprintf "%s=%d" l k)
               (Probe_stats.labels st))))
 
+(* ------------------------------------------------------------------ *)
+(* Store: ring placement, a TIV-alerted read trace under churn and
+   diurnal dynamics, and the arbitrated repair plane. *)
+
+let store () =
+  with_file "golden_store.actual" (fun oc ->
+      Printf.fprintf oc
+        "# store reads over a consistent-hashing ring (alert policy, \
+         churn + diurnal dynamics, arbitrated repair)\n";
+      let backend = Backend.dense m in
+      let churn =
+        { Churn.fraction = 0.25; mean_up = 50.; mean_down = 15.; seed = 151 }
+      in
+      let e =
+        Backend.engine
+          ~config:
+            {
+              Engine.fault =
+                { Fault.default with Fault.loss = 0.03; jitter = 0.05; retries = 1 };
+              profile = None;
+              churn = Some churn;
+              dynamics =
+                Some
+                  {
+                    Dynamics.default with
+                    Dynamics.diurnal = Some Dynamics.default_diurnal;
+                    seed = 157;
+                  };
+              budget = None;
+              cache_ttl = None;
+              cache_capacity = None;
+              charge_time = false;
+              seed = 157;
+            }
+          backend
+      in
+      let system = Selectors.embed_vivaldi (Rng.create 163) m in
+      let policy =
+        Store_policy.alert (fun i j -> System.predicted system i j)
+      in
+      let config =
+        {
+          Store_scenario.default_config with
+          Store_scenario.devices = 16;
+          zones = 4;
+          part_power = 5;
+          replicas = 3;
+          objects = 64;
+          zipf_s = 0.9;
+          reads = 100;
+          duration = 100.;
+          repair_interval = 10.;
+          seed = 21;
+        }
+      in
+      let arbiter =
+        Arbiter.create
+          (Arbiter.config ~capacity:24. ~rate:2.
+             ~shares:[ ("store_repair", 1.); ("store", 1.) ])
+      in
+      let sc =
+        Store_scenario.create ~arbiter ~config ~policy ~backend ~engine:e ()
+      in
+      let ring = Store_scenario.ring sc in
+      Array.iter
+        (fun (d : Store_ring.device) ->
+          Printf.fprintf oc
+            "device %02d node=%02d zone=%d weight=%.1f share=%.2f assigned=%d\n"
+            d.Store_ring.id d.Store_ring.node d.Store_ring.zone
+            d.Store_ring.weight
+            (Store_ring.desired_share ring d.Store_ring.id)
+            (Store_ring.assigned ring d.Store_ring.id))
+        (Store_ring.devices ring);
+      for p = 0 to Store_ring.parts ring - 1 do
+        let ids a =
+          String.concat ","
+            (List.map string_of_int (Array.to_list a))
+        in
+        let ho = Store_ring.handoff ring p in
+        Printf.fprintf oc "part %02d -> %s handoff=%s\n" p
+          (ids (Store_ring.assignment ring p))
+          (ids (Array.sub ho 0 (min 4 (Array.length ho))))
+      done;
+      let i = ref 0 in
+      let result =
+        Store_scenario.run
+          ~trace:(fun (o : Store_scenario.read_outcome) ->
+            incr i;
+            Printf.fprintf oc
+              "read %03d obj=%02d part=%02d client=%02d dev=%s lat=%.4f \
+               probes=%d attempts=%d%s\n"
+              !i o.Store_scenario.obj o.Store_scenario.part
+              o.Store_scenario.client
+              (match o.Store_scenario.device with
+              | Some d -> Printf.sprintf "%02d" d
+              | None -> "--")
+              o.Store_scenario.latency_ms o.Store_scenario.probes
+              o.Store_scenario.attempts
+              (if o.Store_scenario.handoff then " handoff" else ""))
+          ~repair_trace:(fun (r : Store_scenario.pass_outcome) ->
+            Printf.fprintf oc
+              "repair pass=%02d t=%05.1f checked=%d rehomed=%d restored=%d \
+               denied=%d\n"
+              r.Store_scenario.pass r.Store_scenario.time
+              r.Store_scenario.checked r.Store_scenario.rehomed
+              r.Store_scenario.restored r.Store_scenario.denied)
+          sc
+      in
+      Printf.fprintf oc
+        "result issued=%d completed=%d failed=%d skipped=%d handoffs=%d \
+         dead_attempts=%d policy_probes=%d\n"
+        result.Store_scenario.issued result.Store_scenario.completed
+        result.Store_scenario.failed result.Store_scenario.skipped
+        result.Store_scenario.handoffs result.Store_scenario.dead_attempts
+        result.Store_scenario.policy_probes;
+      let rt = result.Store_scenario.repair in
+      Printf.fprintf oc
+        "repair totals passes=%d checked=%d rehomed=%d restored=%d denied=%d\n"
+        rt.Store_scenario.passes rt.Store_scenario.total_checked
+        rt.Store_scenario.total_rehomed rt.Store_scenario.total_restored
+        rt.Store_scenario.total_denied;
+      let lat = result.Store_scenario.latencies in
+      if Array.length lat > 0 then begin
+        let lat = Array.copy lat in
+        Array.sort compare lat;
+        Printf.fprintf oc "latency p50=%.4f p90=%.4f p99=%.4f\n"
+          (Stats.percentile lat 50.) (Stats.percentile lat 90.)
+          (Stats.percentile lat 99.)
+      end;
+      let st = Engine.stats e in
+      Printf.fprintf oc "probes issued=%d down=%d unmeasured=%d labels: %s\n"
+        st.Probe_stats.issued st.Probe_stats.down st.Probe_stats.unmeasured
+        (String.concat " "
+           (List.map
+              (fun (l, k) -> Printf.sprintf "%s=%d" l k)
+              (Probe_stats.labels st))))
+
 let () =
   vivaldi ();
   meridian ();
@@ -454,4 +595,5 @@ let () =
   profile ();
   dynamics ();
   repair ();
-  stabilize ()
+  stabilize ();
+  store ()

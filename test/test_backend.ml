@@ -11,6 +11,11 @@ module Generator = Tivaware_topology.Generator
 module Synthesizer = Tivaware_topology.Synthesizer
 module Backend = Tivaware_backend.Delay_backend
 module Engine = Tivaware_measure.Engine
+module Fault = Tivaware_measure.Fault
+module Churn = Tivaware_measure.Churn
+module Store_ring = Tivaware_store.Ring
+module Store_policy = Tivaware_store.Policy
+module Scenario = Tivaware_store.Scenario
 module System = Tivaware_vivaldi.System
 module Ring = Tivaware_meridian.Ring
 module Overlay = Tivaware_meridian.Overlay
@@ -461,6 +466,70 @@ let test_equiv_multicast () =
   Alcotest.(check int) "max depth" m_d.Multicast.max_depth m_l.Multicast.max_depth;
   Alcotest.(check int) "max fanout" m_d.Multicast.max_fanout m_l.Multicast.max_fanout
 
+(* A lazy store scenario, densified, replays bit-identically: same
+   device placements, same per-read policy decisions, same repair
+   trace — for a probing policy and for the alert-aware one. *)
+let test_equiv_store () =
+  let lz, dn = lazy_and_densified 53 in
+  let run backend policy_of =
+    let engine =
+      Backend.engine
+        ~config:
+          {
+            Engine.fault = { Fault.default with Fault.loss = 0.05 };
+            profile = None;
+            churn = Some { Churn.fraction = 0.2; mean_up = 60.; mean_down = 12.; seed = 77 };
+            dynamics = None;
+            budget = None;
+            cache_ttl = None;
+            cache_capacity = None;
+            charge_time = false;
+            seed = 501;
+          }
+        backend
+    in
+    let config =
+      {
+        Scenario.default_config with
+        Scenario.devices = 16;
+        part_power = 5;
+        replicas = 3;
+        objects = 64;
+        reads = 150;
+        duration = 90.;
+        repair_interval = 10.;
+        seed = 19;
+      }
+    in
+    let sc =
+      Scenario.create ~config ~policy:(policy_of backend) ~backend ~engine ()
+    in
+    let trace = ref [] and rtrace = ref [] in
+    let result =
+      Scenario.run
+        ~trace:(fun o -> trace := o :: !trace)
+        ~repair_trace:(fun o -> rtrace := o :: !rtrace)
+        sc
+    in
+    let ring = Scenario.ring sc in
+    let placements =
+      Array.init (Store_ring.parts ring) (Store_ring.assignment ring)
+    in
+    (placements, List.rev !trace, List.rev !rtrace, result)
+  in
+  let arm policy_of =
+    let pl, tl, rl, resl = run lz policy_of in
+    let pd, td, rd, resd = run dn policy_of in
+    Alcotest.(check bool) "placements equal" true (pl = pd);
+    Alcotest.(check int) "same read count" (List.length td) (List.length tl);
+    Alcotest.(check bool) "per-read decisions equal" true (tl = td);
+    Alcotest.(check bool) "repair traces equal" true (rl = rd);
+    Alcotest.(check bool) "results equal" true (resl = resd)
+  in
+  arm (fun _ -> Store_policy.naive ());
+  arm (fun backend ->
+      Store_policy.alert (fun i j -> 0.9 *. Backend.query backend i j))
+
 let () =
   Alcotest.run "backend"
     [
@@ -481,6 +550,7 @@ let () =
           Alcotest.test_case "tiv alert" `Quick test_equiv_alert;
           Alcotest.test_case "chord" `Quick test_equiv_chord;
           Alcotest.test_case "multicast" `Quick test_equiv_multicast;
+          Alcotest.test_case "store" `Quick test_equiv_store;
         ] );
       ( "lazy",
         [

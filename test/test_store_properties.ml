@@ -1,0 +1,443 @@
+(* Property layer for the consistent-hashing object ring and its
+   replica-selection policies.
+
+   The contracts under test (see DESIGN.md, "Replica placement"):
+
+   - Ring structure: every partition holds [replicas] distinct
+     devices; with at least as many (weight-balanced) zones as
+     replicas, the replicas land in distinct zones; the handoff walk
+     never repeats a primary, never repeats itself, covers every other
+     live device, and visits the partition's missing zones first.
+   - Balance: each device's slot count tracks its weight-proportional
+     desired share within a small tolerance.
+   - Minimal movement: adding a device moves at most its rounded fair
+     share of slots, all of them toward the newcomer; removing one
+     reassigns exactly the slots it held.
+   - Determinism: the whole ring is a pure function of
+     (seed, part_power, replicas, specs); a scenario run is a pure
+     function of its seeds.
+   - Policies: under a triangle-inequality delay space with an exact
+     predictor, all four policies pick the same replica; the
+     alert-aware policy never picks a flagged (likely-TIV) replica
+     while a clean one is available.
+   - Validation: bad workload parameters raise [Invalid_argument]
+     naming the offending field.
+
+   Reads TIVAWARE_PROP_SEED so the CI matrix (seeds 13-15) re-runs
+   everything under distinct seeds. *)
+
+module Rng = Tivaware_util.Rng
+module Zipf = Tivaware_util.Zipf
+module Matrix = Tivaware_delay_space.Matrix
+module Euclidean = Tivaware_topology.Euclidean
+module Engine = Tivaware_measure.Engine
+module Fault = Tivaware_measure.Fault
+module Churn = Tivaware_measure.Churn
+module Dynamics = Tivaware_measure.Dynamics
+module Backend = Tivaware_backend.Delay_backend
+module Ring = Tivaware_store.Ring
+module Policy = Tivaware_store.Policy
+module Scenario = Tivaware_store.Scenario
+
+let prop_seed =
+  match Sys.getenv_opt "TIVAWARE_PROP_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 0)
+  | None -> 0
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let qcheck ~count ~name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Zone-balanced ring configurations: [zones >= replicas] and every
+   zone carries the same weight multiset, the regime in which both the
+   dispersion and the balance contracts are exact (a deployment with
+   wildly unequal zones cannot satisfy both at once).  Derived
+   deterministically from one integer so qcheck shrinks cleanly. *)
+let ring_of_case case =
+  let r = Rng.create ((prop_seed * 1_000_003) + case) in
+  let replicas = 2 + Rng.int r 3 in
+  let zones = replicas + Rng.int r 3 in
+  let per_zone = 2 + Rng.int r 3 in
+  let part_power = 4 + Rng.int r 3 in
+  let pattern = Array.init per_zone (fun _ -> float_of_int (1 + Rng.int r 4)) in
+  let specs =
+    Array.init (zones * per_zone) (fun i ->
+        { Ring.node = i; zone = i / per_zone; weight = pattern.(i mod per_zone) })
+  in
+  let seed = 1 + Rng.int r 100_000 in
+  (Ring.create ~seed ~part_power ~replicas specs, specs, seed, part_power, replicas)
+
+let gen_case = QCheck2.Gen.int_range 0 9999
+
+let test_partitions_distinct =
+  qcheck ~count:40 ~name:"every partition holds [replicas] distinct devices"
+    gen_case (fun case ->
+      let ring, _, _, _, replicas = ring_of_case case in
+      let ok = ref true in
+      for p = 0 to Ring.parts ring - 1 do
+        let a = Ring.assignment ring p in
+        if Array.length a <> replicas then ok := false;
+        Array.iteri
+          (fun i id ->
+            if Ring.device ring id = None then ok := false;
+            Array.iteri (fun j id' -> if i < j && id = id' then ok := false) a)
+          a
+      done;
+      !ok)
+
+let test_zone_dispersion =
+  qcheck ~count:40 ~name:"replicas land in distinct zones (balanced zones)"
+    gen_case (fun case ->
+      let ring, specs, _, _, replicas = ring_of_case case in
+      let zone id = (Option.get (Ring.device ring id)).Ring.zone in
+      ignore specs;
+      let ok = ref true in
+      for p = 0 to Ring.parts ring - 1 do
+        let zs = Array.map zone (Ring.assignment ring p) in
+        let distinct =
+          Array.length zs = replicas
+          && Array.for_all
+               (fun z -> Array.fold_left (fun k z' -> if z = z' then k + 1 else k) 0 zs = 1)
+               zs
+        in
+        if not distinct then ok := false
+      done;
+      !ok)
+
+let test_handoff =
+  qcheck ~count:40 ~name:"handoff never repeats a primary, covers everyone, missing zones first"
+    gen_case (fun case ->
+      let ring, _, _, _, replicas = ring_of_case case in
+      let zone id = (Option.get (Ring.device ring id)).Ring.zone in
+      let live = Array.length (Ring.devices ring) in
+      let ok = ref true in
+      let check_part p =
+        let primaries = Ring.assignment ring p in
+        let walk = Ring.handoff ring p in
+        if Array.length walk <> live - replicas then ok := false;
+        Array.iter
+          (fun id -> if Array.exists (( = ) id) primaries then ok := false)
+          walk;
+        Array.iteri
+          (fun i id -> Array.iteri (fun j id' -> if i < j && id = id' then ok := false) walk)
+          walk;
+        (* Missing zones are restored by the walk's prefix. *)
+        let primary_zones = Array.map zone primaries in
+        let missing =
+          List.sort_uniq compare
+            (List.filter
+               (fun z -> not (Array.exists (( = ) z) primary_zones))
+               (Array.to_list (Array.map zone walk)))
+        in
+        let prefix = Array.sub walk 0 (List.length missing) in
+        let prefix_zones = List.sort_uniq compare (Array.to_list (Array.map zone prefix)) in
+        if prefix_zones <> missing then ok := false
+      in
+      for p = 0 to min (Ring.parts ring - 1) 31 do
+        check_part p
+      done;
+      !ok)
+
+let test_balance =
+  qcheck ~count:40 ~name:"slot counts track weight-proportional desired shares"
+    gen_case (fun case ->
+      let ring, _, _, _, _ = ring_of_case case in
+      Array.for_all
+        (fun d ->
+          let id = d.Ring.id in
+          let want = Ring.desired_share ring id in
+          let got = float_of_int (Ring.assigned ring id) in
+          abs_float (got -. want) <= Float.max 2. (0.08 *. want))
+        (Ring.devices ring))
+
+let test_determinism =
+  qcheck ~count:25 ~name:"assignment is a pure function of (seed, specs)"
+    gen_case (fun case ->
+      let ring1, _, _, _, _ = ring_of_case case in
+      let ring2, _, _, _, _ = ring_of_case case in
+      let ok = ref true in
+      for p = 0 to Ring.parts ring1 - 1 do
+        if Ring.assignment ring1 p <> Ring.assignment ring2 p then ok := false
+      done;
+      !ok)
+
+let snapshot ring =
+  Array.init (Ring.parts ring) (Ring.assignment ring)
+
+let diff_slots before after =
+  let d = ref [] in
+  Array.iteri
+    (fun p row ->
+      Array.iteri (fun r id -> if after.(p).(r) <> id then d := (p, r) :: !d) row)
+    before;
+  !d
+
+let test_add_minimal_movement =
+  qcheck ~count:30 ~name:"add_device moves at most the newcomer's fair share, all toward it"
+    gen_case (fun case ->
+      let ring, _, _, _, _ = ring_of_case case in
+      let r = Rng.create ((prop_seed * 7_919) + case) in
+      let before = snapshot ring in
+      let id =
+        Ring.add_device ring
+          { Ring.node = 10_000 + case; zone = Rng.int r 6; weight = float_of_int (1 + Rng.int r 4) }
+      in
+      let after = snapshot ring in
+      let moved = diff_slots before after in
+      let share = Ring.desired_share ring id in
+      List.length moved = Ring.last_moves ring
+      && List.for_all (fun (p, r') -> after.(p).(r') = id) moved
+      && float_of_int (List.length moved) <= ceil share +. 0.5)
+
+let test_remove_minimal_movement =
+  qcheck ~count:30 ~name:"remove_device reassigns exactly the slots it held"
+    gen_case (fun case ->
+      let ring, _, _, _, _ = ring_of_case case in
+      let r = Rng.create ((prop_seed * 104_729) + case) in
+      let devs = Ring.devices ring in
+      let victim = devs.(Rng.int r (Array.length devs)).Ring.id in
+      let held = Ring.assigned ring victim in
+      let before = snapshot ring in
+      Ring.remove_device ring victim;
+      let after = snapshot ring in
+      let moved = diff_slots before after in
+      List.length moved = held
+      && Ring.last_moves ring = held
+      && List.for_all (fun (p, r') -> before.(p).(r') = victim) moved
+      && List.for_all (fun (p, r') -> Ring.device ring after.(p).(r') <> None) moved)
+
+let test_partition_map_stable () =
+  let ring, _, _, _, _ = ring_of_case 42 in
+  let objs = Array.init 200 (fun i -> i * 7919) in
+  let before = Array.map (Ring.partition_of ring) objs in
+  Array.iter
+    (fun p -> checkb "in range" true (p >= 0 && p < Ring.parts ring))
+    before;
+  ignore
+    (Ring.add_device ring { Ring.node = 9_999; zone = 0; weight = 2. });
+  let after = Array.map (Ring.partition_of ring) objs in
+  checkb "rebalance never remaps objects" true (before = after)
+
+(* --- policies --- *)
+
+let oracle_engine m = Engine.of_matrix m
+
+let ti_matrix = lazy (Euclidean.uniform_box (Rng.create 6007) ~n:40 ~dim:3 ~side_ms:200.)
+
+let test_policies_agree_under_ti =
+  qcheck ~count:60 ~name:"all policies agree when the delay space satisfies the TI"
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 2 8))
+    (fun (salt, k) ->
+      let m = Lazy.force ti_matrix in
+      let r = Rng.create ((prop_seed * 31_337) + salt) in
+      let nodes = Rng.sample_indices r ~n:(Matrix.size m) ~k:(k + 1) in
+      let client = nodes.(0) in
+      let candidates = Array.init k (fun i -> (i, nodes.(i + 1))) in
+      let predicted i j = Matrix.get m i j in
+      let pick policy =
+        Policy.select policy ~engine:(oracle_engine m) ~client ~candidates
+      in
+      let choices =
+        [
+          pick (Policy.naive ());
+          pick (Policy.coordinate predicted);
+          pick (Policy.probe ());
+          pick (Policy.alert predicted);
+        ]
+      in
+      match choices with
+      | Some a :: rest ->
+          List.for_all
+            (function
+              | Some c -> c.Policy.device = a.Policy.device && c.Policy.node = a.Policy.node
+              | None -> false)
+            rest
+      | _ -> false)
+
+let test_alert_skips_flagged =
+  qcheck ~count:60 ~name:"alert never selects a flagged replica while a clean one exists"
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 2 6))
+    (fun (salt, clean_count) ->
+      let r = Rng.create ((prop_seed * 65_537) + salt) in
+      (* Node 0 is the client; candidates 1..k.  Flagged candidates
+         look closest in prediction (shrunk edges) but measure far;
+         clean candidates predict exactly what they measure. *)
+      let flagged_count = 1 + Rng.int r 3 in
+      let k = clean_count + flagged_count in
+      let flagged = Array.init k (fun i -> i < flagged_count) in
+      (* Flagged edges measure far (150-250 ms) but predict very near
+         (x0.1, so 15-25 ms); clean edges predict exactly their 30-100
+         ms measurement.  Every flagged candidate therefore sorts ahead
+         of every clean one, forcing the walk to consider and skip it. *)
+      let delays =
+        Array.init (k + 1) (fun i ->
+            if i = 0 then 0.
+            else if flagged.(i - 1) then 150. +. Rng.float r 100.
+            else 30. +. Rng.float r 70.)
+      in
+      let backend =
+        Backend.of_fn ~size:(k + 1) (fun i j ->
+            if i = j then 0. else delays.(max i j))
+      in
+      let predicted i j =
+        let c = max i j - 1 in
+        if min i j <> 0 || c < 0 || c >= k then nan
+        else if flagged.(c) then delays.(max i j) *. 0.1
+        else delays.(max i j)
+      in
+      let engine = Backend.engine backend in
+      let candidates = Array.init k (fun i -> (i, i + 1)) in
+      match
+        Policy.select (Policy.alert predicted) ~engine ~client:0 ~candidates
+      with
+      | Some c -> (not flagged.(c.Policy.device)) && c.Policy.skipped_flagged >= 1
+      | None -> false)
+
+let test_alert_all_flagged_picks_best_measured () =
+  let delays = [| 0.; 120.; 80.; 150. |] in
+  let backend =
+    Backend.of_fn ~size:4 (fun i j -> if i = j then 0. else delays.(max i j))
+  in
+  let predicted i j = if min i j = 0 then delays.(max i j) *. 0.1 else nan in
+  let engine = Backend.engine backend in
+  let candidates = [| (0, 1); (1, 2); (2, 3) |] in
+  match Policy.select (Policy.alert predicted) ~engine ~client:0 ~candidates with
+  | Some c ->
+      checki "falls back to the best measured flagged replica" 1 c.Policy.device;
+      checki "every candidate was flagged" 3 c.Policy.skipped_flagged
+  | None -> Alcotest.fail "expected a fallback choice"
+
+(* --- validation --- *)
+
+let expect_invalid name substr f =
+  match f () with
+  | exception Invalid_argument msg ->
+      checkb
+        (Printf.sprintf "%s: message %S names %S" name msg substr)
+        true
+        (let len = String.length substr in
+         let ok = ref false in
+         String.iteri
+           (fun i _ ->
+             if i + len <= String.length msg && String.sub msg i len = substr then
+               ok := true)
+           msg;
+         !ok)
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_validation () =
+  expect_invalid "zipf n" "n must be >= 1" (fun () -> Zipf.create ~n:0 ~s:0.9);
+  expect_invalid "zipf s" "s must be non-negative" (fun () ->
+      Zipf.create ~n:10 ~s:(-1.));
+  expect_invalid "objects" "objects" (fun () ->
+      Scenario.validate_config "Store.Scenario"
+        { Scenario.default_config with Scenario.objects = 0 });
+  expect_invalid "replicas" "replicas" (fun () ->
+      Scenario.validate_config "Store.Scenario"
+        { Scenario.default_config with Scenario.replicas = 9; devices = 4 });
+  expect_invalid "zipf_s" "zipf_s" (fun () ->
+      Scenario.validate_config "Store.Scenario"
+        { Scenario.default_config with Scenario.zipf_s = -0.5 });
+  expect_invalid "duration" "duration" (fun () ->
+      Scenario.validate_config "Store.Scenario"
+        { Scenario.default_config with Scenario.duration = 0. });
+  expect_invalid "weight" "weight" (fun () ->
+      Ring.create ~part_power:4 ~replicas:2
+        [|
+          { Ring.node = 0; zone = 0; weight = 1. };
+          { Ring.node = 1; zone = 1; weight = -3. };
+        |]);
+  expect_invalid "ring replicas" "replicas" (fun () ->
+      Ring.create ~part_power:4 ~replicas:5
+        [|
+          { Ring.node = 0; zone = 0; weight = 1. };
+          { Ring.node = 1; zone = 1; weight = 1. };
+        |]);
+  expect_invalid "threshold" "threshold" (fun () ->
+      Policy.alert ~threshold:0. (fun _ _ -> 1.))
+
+(* --- scenario determinism --- *)
+
+let scenario_matrix = lazy (Euclidean.uniform_box (Rng.create 6991) ~n:60 ~dim:3 ~side_ms:250.)
+
+let run_scenario seed =
+  let m = Lazy.force scenario_matrix in
+  let backend = Backend.dense m in
+  let engine =
+    Backend.engine
+      ~config:
+        {
+          Engine.fault = { Fault.default with Fault.loss = 0.05 };
+          profile = None;
+          churn = Some { Churn.fraction = 0.25; mean_up = 50.; mean_down = 15.; seed = seed + 3 };
+          dynamics = Some Dynamics.default;
+          budget = None;
+          cache_ttl = None;
+          cache_capacity = None;
+          charge_time = false;
+          seed;
+        }
+      backend
+  in
+  let config =
+    {
+      Scenario.default_config with
+      Scenario.devices = 16;
+      zones = 4;
+      part_power = 5;
+      replicas = 3;
+      objects = 64;
+      reads = 120;
+      duration = 90.;
+      repair_interval = 10.;
+      seed = seed + 11;
+    }
+  in
+  let sc =
+    Scenario.create ~config ~policy:(Policy.naive ()) ~backend ~engine ()
+  in
+  Scenario.run sc
+
+let test_scenario_deterministic () =
+  let a = run_scenario (1000 + prop_seed) in
+  let b = run_scenario (1000 + prop_seed) in
+  checkb "identical results" true (a = b);
+  checki "issued + skipped = reads" 120 (a.Scenario.issued + a.Scenario.skipped);
+  checki "completed + failed = issued" a.Scenario.issued
+    (a.Scenario.completed + a.Scenario.failed);
+  checki "one latency per completed read" a.Scenario.completed
+    (Array.length a.Scenario.latencies);
+  checkb "repair passes ran" true (a.Scenario.repair.Scenario.passes >= 8)
+
+let () =
+  Alcotest.run "store_properties"
+    [
+      ( "ring",
+        [
+          test_partitions_distinct;
+          test_zone_dispersion;
+          test_handoff;
+          test_balance;
+          test_determinism;
+          test_add_minimal_movement;
+          test_remove_minimal_movement;
+          Alcotest.test_case "partition map stable across rebalance" `Quick
+            test_partition_map_stable;
+        ] );
+      ( "policy",
+        [
+          test_policies_agree_under_ti;
+          test_alert_skips_flagged;
+          Alcotest.test_case "alert all-flagged fallback" `Quick
+            test_alert_all_flagged_picks_best_measured;
+        ] );
+      ( "validation",
+        [ Alcotest.test_case "invalid params name the field" `Quick test_validation ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "seeded run is deterministic" `Quick
+            test_scenario_deterministic;
+        ] );
+    ]
