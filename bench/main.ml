@@ -44,6 +44,7 @@ let () =
   Figures_backend.register ();
   Figures_service.register ();
   Figures_store.register ();
+  Figures_stream.register ();
   Ablations.register ();
   Extensions.register ();
   if !perf then Perf.run ()

@@ -15,6 +15,7 @@
      closest      Meridian closest-node queries over a delay backend
      tiv-scan     sampled TIV alert evaluation over a delay backend
      store        object-store reads over a consistent-hashing ring
+     stream       P2P live streaming swarm with pluggable neighbor selection
      metrics-diff per-series comparison of two --metrics-out summaries *)
 
 open Cmdliner
@@ -52,9 +53,12 @@ module Backend = Tivaware_backend.Delay_backend
 module Synthesizer = Tivaware_topology.Synthesizer
 module Overlay = Tivaware_meridian.Overlay
 module Query = Tivaware_meridian.Query
+module Multicast = Tivaware_overlay.Multicast
 module Store_ring = Tivaware_store.Ring
 module Store_policy = Tivaware_store.Policy
 module Store_scenario = Tivaware_store.Scenario
+module Stream_select = Tivaware_stream.Select
+module Stream_swarm = Tivaware_stream.Swarm
 
 (* ---------------------------------------------------------------- *)
 (* Shared arguments                                                  *)
@@ -1078,7 +1082,14 @@ let multicast_cmd =
         (t, !switches, None)
       end
     in
-    let metrics = Multicast.evaluate_backend t backend in
+    (* Engine-backed runs evaluate through the nan-audited path, so
+       unmeasurable edges land in multicast.evaluate_failures instead
+       of silently vanishing from the percentiles. *)
+    let metrics =
+      match engine with
+      | Some e -> Multicast.evaluate_engine t e
+      | None -> Multicast.evaluate_backend t backend
+    in
     Printf.printf
       "members=%d  mean edge=%.1f ms  stretch p50=%.2f p90=%.2f  depth=%d \
        fanout=%d  (%d refresh switches)\n"
@@ -1602,6 +1613,206 @@ let store_cmd =
       $ part_power $ replicas $ objects $ zipf_s $ reads $ duration
       $ repair_ms $ repair_share $ penalty $ meas_term)
 
+(* ---------------------------------------------------------------- *)
+(* stream: P2P live streaming with pluggable neighbor selection      *)
+
+let stream_cmd =
+  let run matrix_file size seed kind nodes model_size memo policy members
+      chunk_ms deadline_ms buffer pull_ms repair_ms repair_share degree duration
+      meas =
+    let nodes = if nodes > 0 then nodes else size in
+    let backend, labels =
+      make_backend kind ~matrix_file ~nodes ~model_size ~memo ~seed
+    in
+    let config =
+      {
+        Stream_swarm.members;
+        chunk_ms;
+        deadline_ms;
+        buffer_chunks = buffer;
+        pull_interval = pull_ms /. 1000.;
+        repair_interval = repair_ms /. 1000.;
+        max_degree = degree;
+        duration;
+        seed = seed + 23;
+      }
+    in
+    (try Stream_swarm.validate_config "tivlab stream" config
+     with Invalid_argument msg ->
+       prerr_endline ("tivlab: " ^ msg);
+       exit 2);
+    let engine = make_backend_engine backend ~labels meas ~seed in
+    (* Same discipline as store: coordinate-based policies embed through
+       a separate maintenance engine over the same backend, so the swarm
+       engine's fault/churn streams stay identical across policies and
+       the embedding's probe bill is reported separately. *)
+    let maintenance = ref None in
+    let embed () =
+      let e = make_backend_engine backend ~labels meas ~seed:(seed + 1) in
+      let sys = Selectors.embed_vivaldi_engine (Rng.create (seed + 1)) e in
+      maintenance := Some e;
+      System.predictor sys
+    in
+    let select =
+      match policy with
+      | `Naive -> Stream_select.naive ~seed:(seed + 23)
+      | `Vivaldi -> Stream_select.coordinate (embed ())
+      | `Alert -> Stream_select.alert (embed ())
+    in
+    let arbiter =
+      if meas.probe_budget > 0 && repair_share > 0. && repair_share < 1. then begin
+        let total = float_of_int (meas.probe_budget * Backend.size backend) in
+        Some
+          (Arbiter.create
+             (Arbiter.config ~capacity:total ~rate:total
+                ~shares:
+                  [
+                    ("stream_repair", repair_share);
+                    ("stream", 1. -. repair_share);
+                  ]))
+      end
+      else None
+    in
+    let sw =
+      try Stream_swarm.create ?arbiter ~config ~select ~backend ~engine ()
+      with Invalid_argument msg ->
+        prerr_endline ("tivlab: " ^ msg);
+        exit 2
+    in
+    let r = Stream_swarm.run sw in
+    Printf.printf
+      "stream: policy=%s backend=%s members=%d source=%d chunks=%d \
+       chunk=%.0fms deadline=%.0fms degree=%d\n"
+      (Stream_select.name select) (Backend.kind_name backend) members
+      (Stream_swarm.source sw) r.Stream_swarm.chunks chunk_ms deadline_ms degree;
+    Printf.printf
+      "stream: deadlines on_time=%d missed=%d down=%d miss_rate=%.4f\n"
+      r.Stream_swarm.on_time r.Stream_swarm.missed
+      r.Stream_swarm.down_at_deadline r.Stream_swarm.miss_rate;
+    Printf.printf
+      "stream: deliveries=%d duplicates=%d lost_down=%d transfer_failures=%d\n"
+      r.Stream_swarm.deliveries r.Stream_swarm.duplicates
+      r.Stream_swarm.lost_down r.Stream_swarm.transfer_failures;
+    Printf.printf
+      "stream: pull exchanges=%d failures=%d requests=%d hits=%d \
+       overhead=%.3f\n"
+      r.Stream_swarm.pull_exchanges r.Stream_swarm.pull_failures
+      r.Stream_swarm.pull_requests r.Stream_swarm.pull_hits
+      r.Stream_swarm.overhead_ratio;
+    let st = r.Stream_swarm.stretches in
+    let s50 = if st = [||] then 0. else Stats.median st in
+    let s90 = if st = [||] then 0. else Stats.percentile st 90. in
+    Printf.printf "stream: delivery stretch p50=%.2f p90=%.2f (n=%d)\n" s50 s90
+      (Array.length st);
+    let rep = r.Stream_swarm.repair in
+    Printf.printf
+      "stream: repair passes=%d denied=%d detached=%d reattached=%d \
+       rejoined=%d\n"
+      rep.Stream_swarm.passes rep.Stream_swarm.denied
+      rep.Stream_swarm.detached rep.Stream_swarm.reattached
+      rep.Stream_swarm.rejoined;
+    let tm = r.Stream_swarm.tree_metrics in
+    Printf.printf
+      "stream: tree joined=%d/%d mean_edge=%.1fms median_stretch=%.2f \
+       depth=%d fanout=%d\n"
+      r.Stream_swarm.joined members tm.Multicast.mean_edge_ms
+      tm.Multicast.median_stretch tm.Multicast.max_depth tm.Multicast.max_fanout;
+    let maint_probes =
+      match !maintenance with
+      | None -> 0
+      | Some e -> Probe_stats.label_count (Engine.stats e) "vivaldi"
+    in
+    Printf.printf "stream: maintenance probes=%d\n" maint_probes;
+    print_probe_summary engine;
+    set_gauge engine "stream.miss_rate" r.Stream_swarm.miss_rate;
+    set_gauge engine "stream.overhead_ratio" r.Stream_swarm.overhead_ratio;
+    set_gauge engine "stream.stretch_p50" s50;
+    set_gauge engine "stream.stretch_p90" s90;
+    set_gauge engine "stream.maintenance_probes" (float_of_int maint_probes);
+    write_metrics meas engine
+  in
+  let policy =
+    let policies = [ ("naive", `Naive); ("vivaldi", `Vivaldi); ("alert", `Alert) ] in
+    Arg.(
+      value & opt (enum policies) `Alert
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Neighbor selection: $(b,naive) seeded-random attachment, \
+                $(b,vivaldi) coordinate-ranked candidates, or $(b,alert) \
+                TIV-alert-aware verification of candidates in predicted \
+                order (flagged likely-TIV edges rank behind every clean \
+                one).")
+  in
+  let members =
+    Arg.(
+      value & opt int Stream_swarm.default_config.Stream_swarm.members
+      & info [ "members" ] ~docv:"N"
+          ~doc:"Swarm size sampled from the delay space (source included).")
+  in
+  let chunk_ms =
+    Arg.(
+      value & opt float Stream_swarm.default_config.Stream_swarm.chunk_ms
+      & info [ "chunk-ms" ] ~docv:"MS"
+          ~doc:"Inter-chunk emission gap in milliseconds of stream time.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt float Stream_swarm.default_config.Stream_swarm.deadline_ms
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Playback deadline: a chunk not held this many milliseconds \
+                after emission is a miss.")
+  in
+  let buffer =
+    Arg.(
+      value & opt int Stream_swarm.default_config.Stream_swarm.buffer_chunks
+      & info [ "buffer" ] ~docv:"CHUNKS"
+          ~doc:"Bounded chunk buffer: the have-map/pull window, in chunks.")
+  in
+  let pull_ms =
+    Arg.(
+      value & opt float 2000.
+      & info [ "pull" ] ~docv:"MS"
+          ~doc:"Pull-plane interval in milliseconds of simulated time: \
+                exchange have-maps with the parent and request missing \
+                chunks in the buffer window.")
+  in
+  let repair_ms =
+    Arg.(
+      value & opt float 5000.
+      & info [ "repair" ] ~docv:"MS"
+          ~doc:"Repair-plane interval in milliseconds of simulated time: \
+                re-graft members orphaned by churn (0 disables).")
+  in
+  let repair_share =
+    Arg.(
+      value & opt float 0.25
+      & info [ "repair-share" ] ~docv:"F"
+          ~doc:"With $(b,--probe-budget), carve this weight fraction of the \
+                system-wide probe allowance into a strict admission bucket \
+                for the repair plane (0 or 1 disables arbitration).")
+  in
+  let degree =
+    Arg.(
+      value & opt int Stream_swarm.default_config.Stream_swarm.max_degree
+      & info [ "degree" ] ~docv:"D" ~doc:"Children cap per member.")
+  in
+  let duration =
+    Arg.(
+      value & opt float Stream_swarm.default_config.Stream_swarm.duration
+      & info [ "duration" ] ~docv:"SEC"
+          ~doc:"Simulated seconds of chunk emission (pull and repair run \
+                until the last chunk's deadline).")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"P2P live streaming over the delay space: chunk dissemination \
+             with playback deadlines, comparing locality-unaware, \
+             coordinate-based and TIV-alert-aware neighbor selection.")
+    Term.(
+      const run $ matrix_arg $ size_arg $ seed_arg $ backend_kind_arg
+      $ nodes_arg $ model_size_arg $ memo_arg $ policy $ members $ chunk_ms
+      $ deadline_ms $ buffer $ pull_ms $ repair_ms $ repair_share $ degree
+      $ duration $ meas_term)
+
 let () =
   let info =
     Cmd.info "tivlab" ~version:"1.0.0"
@@ -1613,5 +1824,5 @@ let () =
           [
             gen_cmd; survey_cmd; vivaldi_cmd; meridian_cmd; alert_cmd; import_cmd;
             repair_cmd; synthesize_cmd; dht_cmd; multicast_cmd; embed_cmd;
-            closest_cmd; tiv_scan_cmd; store_cmd; metrics_diff_cmd;
+            closest_cmd; tiv_scan_cmd; store_cmd; stream_cmd; metrics_diff_cmd;
           ]))

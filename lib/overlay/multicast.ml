@@ -32,6 +32,13 @@ let members t =
 
 let children_count t node = t.degree.(node)
 
+let children t node =
+  let out = ref [] in
+  Array.iteri
+    (fun c p -> if p = node && t.joined.(c) && c <> t.root then out := c :: !out)
+    t.parent;
+  List.rev !out
+
 (* [known] abstracts [Matrix.known]: whether the pair can carry a tree
    edge at all.  Backends answer it as "query is not nan", matrices as
    membership — identical for a matrix-wrapping backend. *)
@@ -205,7 +212,7 @@ type metrics = {
   max_fanout : int;
 }
 
-let evaluate_fn t delay =
+let evaluate_fn ?(on_missing = fun () -> ()) t delay =
   let n = Array.length t.parent in
   (* Root-to-node tree delay and depth by memoized ascent. *)
   let tree_delay = Array.make n nan in
@@ -218,6 +225,9 @@ let evaluate_fn t delay =
       let p = t.parent.(node) in
       let pd, pdepth = resolve p in
       let edge = delay node p in
+      (* A missing edge contributes zero to the path — a silent nan
+         exit; [on_missing] lets engine-backed callers count it. *)
+      if Float.is_nan edge then on_missing ();
       let d = pd +. (if Float.is_nan edge then 0. else edge) in
       tree_delay.(node) <- d;
       depth.(node) <- pdepth + 1;
@@ -235,6 +245,10 @@ let evaluate_fn t delay =
         let direct = delay node t.root in
         if (not (Float.is_nan direct)) && direct > 0. then
           stretches := (tree_delay.(node) /. direct) :: !stretches
+        else
+          (* No measurable direct root delay: the member drops out of
+             the stretch percentiles without a trace. *)
+          on_missing ()
       end)
     (members t);
   let edges = Array.of_list !edges and stretches = Array.of_list !stretches in
@@ -252,6 +266,33 @@ let evaluate t m = evaluate_fn t (Matrix.get m)
 
 let evaluate_backend t backend =
   evaluate_fn t (Tivaware_backend.Delay_backend.query backend)
+
+(* Evaluation against the engine's ground truth, with the nan audit:
+   every silent fallback (missing tree edge, unmeasurable direct root
+   delay) increments [multicast.evaluate_failures] instead of
+   disappearing into the percentiles — the multicast counterpart of
+   [meridian.query_failures]. *)
+let evaluate_failures_counter reg =
+  Tivaware_obs.Registry.counter reg "multicast.evaluate_failures"
+
+let evaluate_engine t engine =
+  let module Engine = Tivaware_measure.Engine in
+  let module Oracle = Tivaware_measure.Oracle in
+  let module Obs = Tivaware_obs in
+  let reg = Engine.obs engine in
+  let failures = evaluate_failures_counter reg in
+  let missing = ref 0 in
+  let on_missing () =
+    incr missing;
+    Obs.Counter.incr failures
+  in
+  let m =
+    evaluate_fn ~on_missing t (Oracle.query (Engine.oracle engine))
+  in
+  if !missing > 0 then
+    Obs.Registry.trace_event reg ~time:(Engine.now engine) ~label:"multicast"
+      (Printf.sprintf "evaluate dropped %d unmeasurable edges" !missing);
+  m
 
 (* ------------------------------------------------------------------ *)
 (* Churn-aware tree repair                                             *)
@@ -282,6 +323,11 @@ let repair_general t rng ~known ~predict ~up =
         incr detached
       end)
     (members t);
+  (* Detached members no longer occupy their parents' degree slots —
+     without this, a root whose children all died in one burst keeps a
+     phantom full degree and cannot adopt the orphans, breaking the
+     "root is always a candidate" guarantee below. *)
+  recompute_degrees t;
   (* 2. Orphans re-attach: a member whose parent is gone (or down) asks
      the predictor — real probes, when driven by an engine — for the
      best live member with spare degree.  Deterministic ascending order
@@ -350,7 +396,7 @@ let known_of_engine engine i j =
   let module Oracle = Tivaware_measure.Oracle in
   i <> j && not (Float.is_nan (Oracle.query (Engine.oracle engine) i j))
 
-let repair_engine ?(label = "multicast-repair") t rng engine =
+let repair_engine ?(label = "multicast-repair") ?predict t rng engine =
   let module Engine = Tivaware_measure.Engine in
   let module Churn = Tivaware_measure.Churn in
   let module Obs = Tivaware_obs in
@@ -359,10 +405,11 @@ let repair_engine ?(label = "multicast-repair") t rng engine =
     | None -> true
     | Some c -> Churn.is_up c i
   in
+  let predict =
+    match predict with Some p -> p | None -> Engine.rtt ~label engine
+  in
   let result =
-    repair_general t rng ~known:(known_of_engine engine)
-      ~predict:(Engine.rtt ~label engine)
-      ~up
+    repair_general t rng ~known:(known_of_engine engine) ~predict ~up
   in
   let reg = Engine.obs engine in
   let labels = [ ("plane", "multicast") ] in
@@ -385,13 +432,17 @@ let repair_engine ?(label = "multicast-repair") t rng engine =
    the engine's ground truth directly (matrix or lazy backend alike).
    Oracle-mode default over a matrix reproduces
    [build ~predict:(Matrix.get m)] bit-for-bit. *)
-let build_engine ?config ?(label = "multicast") engine ~join_order =
+let build_engine ?config ?(label = "multicast") ?predict engine ~join_order =
   let module Engine = Tivaware_measure.Engine in
+  let predict =
+    match predict with Some p -> p | None -> Engine.rtt ~label engine
+  in
   build_general ?config ~n:(Engine.size engine)
-    ~known:(known_of_engine engine) ~join_order
-    ~predict:(Engine.rtt ~label engine) ()
+    ~known:(known_of_engine engine) ~join_order ~predict ()
 
-let refresh_engine ?(label = "multicast") t rng engine =
+let refresh_engine ?(label = "multicast") ?predict t rng engine =
   let module Engine = Tivaware_measure.Engine in
-  refresh_general t rng ~known:(known_of_engine engine)
-    ~predict:(Engine.rtt ~label engine)
+  let predict =
+    match predict with Some p -> p | None -> Engine.rtt ~label engine
+  in
+  refresh_general t rng ~known:(known_of_engine engine) ~predict

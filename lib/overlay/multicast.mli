@@ -34,6 +34,11 @@ val members : t -> int list
 
 val children_count : t -> int -> int
 
+val children : t -> int -> int list
+(** Current children of a member, in ascending node order — the set a
+    chunk-forwarding overlay pushes to.  Empty for leaves, for the
+    un-joined, and for nodes whose children all left. *)
+
 val build :
   ?config:config ->
   Tivaware_delay_space.Matrix.t ->
@@ -108,27 +113,44 @@ val repair :
     and re-hangs them once it returns. *)
 
 val repair_engine :
-  ?label:string -> t -> Tivaware_util.Rng.t -> Tivaware_measure.Engine.t -> repair
+  ?label:string ->
+  ?predict:(int -> int -> float) ->
+  t ->
+  Tivaware_util.Rng.t ->
+  Tivaware_measure.Engine.t ->
+  repair
 (** {!repair} with liveness taken from the engine's churn model (no
     churn = everyone up) and predictions probing through the engine,
-    charged and accounted under [label] (default ["multicast-repair"]). *)
+    charged and accounted under [label] (default ["multicast-repair"]).
+    [predict] overrides the per-probe predictor — the hook policy-driven
+    overlays (e.g. {!Tivaware_stream}) use to re-graft orphans by
+    coordinate rank or TIV-alert-verified rank instead of a raw probe. *)
 
 val build_engine :
   ?config:config ->
   ?label:string ->
+  ?predict:(int -> int -> float) ->
   Tivaware_measure.Engine.t ->
   join_order:int array ->
   t
 (** {!build} with the predictor probing through the measurement plane
     ([label] defaults to ["multicast"]); joins consult the engine's
     ground truth for edge existence — matrix-backed and lazy backend
-    engines both work.  Oracle-mode default config over a matrix
-    reproduces [build ~predict:(Matrix.get m)] bit-for-bit. *)
+    engines both work.  [predict] overrides the attachment predictor
+    (policy-ranked joins); any probes it issues are its own business.
+    Oracle-mode default config over a matrix reproduces
+    [build ~predict:(Matrix.get m)] bit-for-bit. *)
 
 val refresh_engine :
-  ?label:string -> t -> Tivaware_util.Rng.t -> Tivaware_measure.Engine.t -> int
-(** {!refresh} with engine-mediated predictions; same label and
-    ground-truth conventions as {!build_engine}. *)
+  ?label:string ->
+  ?predict:(int -> int -> float) ->
+  t ->
+  Tivaware_util.Rng.t ->
+  Tivaware_measure.Engine.t ->
+  int
+(** {!refresh} with engine-mediated predictions; same label,
+    ground-truth and [predict]-override conventions as
+    {!build_engine}. *)
 
 type metrics = {
   members : int;
@@ -143,9 +165,21 @@ val evaluate : t -> Tivaware_delay_space.Matrix.t -> metrics
 (** Tree quality under {e measured} delays.  Stretch is computed for
     members with a measured direct delay to the root. *)
 
-val evaluate_fn : t -> (int -> int -> float) -> metrics
+val evaluate_fn :
+  ?on_missing:(unit -> unit) -> t -> (int -> int -> float) -> metrics
 (** {!evaluate} generalized over any delay function ([nan] = missing
-    measurement, as with a matrix). *)
+    measurement, as with a matrix).  [on_missing] is invoked once per
+    silent [nan] fallback — a missing parent edge (contributes zero to
+    the tree path) or a member with no measurable direct root delay
+    (drops out of the stretch percentiles); default: ignore, the
+    historical behaviour. *)
 
 val evaluate_backend : t -> Tivaware_backend.Delay_backend.t -> metrics
 (** {!evaluate} judged by a delay backend's answers. *)
+
+val evaluate_engine : t -> Tivaware_measure.Engine.t -> metrics
+(** {!evaluate_fn} against the engine's ground-truth oracle, with the
+    nan-sentinel audit: every silent fallback increments the engine
+    registry's [multicast.evaluate_failures] counter (and a trace event
+    summarizes the drop count), mirroring [meridian.query_failures] —
+    no unmeasurable edge vanishes into the percentiles unrecorded. *)

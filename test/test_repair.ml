@@ -320,6 +320,65 @@ let test_multicast_tree_connected () =
   checkb "revived members rejoined" true (!rejoined > 0);
   assert_connected ()
 
+(* Worst-case burst: every direct child of the root churns out in one
+   pass, orphaning all of the root's subtrees at once.  The repair
+   contract says the root is always an attachment candidate, so no
+   orphaned grandchild may fragment away — the tree re-hangs every
+   surviving member in a single pass.  Uses the oracle-mode repair so
+   the down set can be forced to exactly the root's children. *)
+let test_multicast_root_children_burst () =
+  let m = Lazy.force matrix in
+  let join_order =
+    let rest = Array.of_list (List.init (n - 1) (fun i -> i + 1)) in
+    Rng.shuffle (rng 10) rest;
+    Array.append [| 0 |] rest
+  in
+  let predict i j = Matrix.get m i j in
+  (* A small degree cap forces real depth: the root's children own
+     subtrees, not leaves, so the burst actually orphans someone. *)
+  let t =
+    Multicast.build
+      ~config:{ Multicast.default_config with Multicast.max_degree = 3 }
+      m ~join_order ~predict
+  in
+  let before = List.length (Multicast.members t) in
+  checki "everyone joined a complete matrix" n before;
+  let victims = Multicast.children t (Multicast.root t) in
+  checkb "root has direct children" true (victims <> []);
+  let orphaned =
+    List.concat_map (fun v -> Multicast.children t v) victims
+  in
+  checkb "the burst orphans at least one grandchild" true (orphaned <> []);
+  let up i = not (List.mem i victims) in
+  let r = Multicast.repair t (rng 11) m ~predict ~up in
+  checki "exactly the root's children detached" (List.length victims)
+    r.Multicast.detached;
+  checkb "orphaned subtrees re-grafted" true
+    (r.Multicast.reattached >= List.length orphaned);
+  let members = Multicast.members t in
+  checki "no one else left the tree" (before - List.length victims)
+    (List.length members);
+  List.iter
+    (fun node ->
+      checkb (Printf.sprintf "member %d is up" node) true (up node);
+      let rec ascend cur steps =
+        checkb (Printf.sprintf "ascent from %d bounded" node) true (steps < n);
+        if cur <> Multicast.root t then
+          match Multicast.parent t cur with
+          | None ->
+            Alcotest.failf "member %d detached from the tree at %d" node cur
+          | Some p ->
+            checkb (Printf.sprintf "parent %d of %d is up" p cur) true (up p);
+            ascend p (steps + 1)
+      in
+      ascend node 0)
+    members;
+  (* Revival: with everyone back up, one pass re-admits all victims. *)
+  let r' = Multicast.repair t (rng 12) m ~predict ~up:(fun _ -> true) in
+  checki "all victims rejoined" (List.length victims) r'.Multicast.rejoined;
+  checki "full membership restored" before
+    (List.length (Multicast.members t))
+
 (* ------------------------------------------------------------------ *)
 (* Revival regression: a node that comes back answers probes again     *)
 
@@ -413,6 +472,8 @@ let () =
         [
           Alcotest.test_case "tree connected through a burst" `Quick
             test_multicast_tree_connected;
+          Alcotest.test_case "root's children all churn out at once" `Quick
+            test_multicast_root_children_burst;
         ] );
       ( "revival",
         [
